@@ -1,0 +1,55 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see the experiment index in DESIGN.md), asserts that the *shape* matches
+the paper — who wins, which outcomes are forbidden, where the models
+disagree — and reports timings via pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(-s shows the regenerated tables.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import load_model
+from repro.lkmm import LinuxKernelModel
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Most experiments here take seconds; repeating them for statistical
+    rounds would multiply the suite's runtime for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def lkmm():
+    return LinuxKernelModel()
+
+
+@pytest.fixture(scope="session")
+def lkmm_cat():
+    return load_model("lkmm")
+
+
+@pytest.fixture(scope="session")
+def c11():
+    return load_model("c11")
+
+
+def print_table(title, headers, rows):
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n{title}")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,166 @@
+"""Ablation benches: which part of the model forbids what.
+
+One benefit of an *executable* model is that design choices can be
+ablated and re-run.  Each ablation edits one definition of ``lkmm.cat``
+and shows which paper test changes verdict — demonstrating that every
+piece of Figure 8 is load-bearing:
+
+* A-cumulativity of release/strong fences  -> Figure 5
+* the ``rrdep*`` prefix of ppo             -> Figure 9
+* control dependencies in ``rwdep``        -> Figure 4
+* grace periods in ``strong-fence``        -> SB with mb+synchronize_rcu
+* the rb-dep guard on read-read deps       -> MP+wmb+addr (the Alpha
+  accommodation makes the model *weaker*, not stronger)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import CatModel
+from repro.cat.eval import MODELS_DIR
+from repro.herd import run_litmus
+from repro.litmus import library
+
+from conftest import once, print_table
+
+LKMM_SOURCE = (MODELS_DIR / "lkmm.cat").read_text()
+
+
+def ablated(original: str, replacement: str) -> CatModel:
+    assert original in LKMM_SOURCE, f"ablation target not found: {original}"
+    return CatModel.from_source(
+        LKMM_SOURCE.replace(original, replacement), name="lkmm-ablated"
+    )
+
+
+def run_pair(full, ablated_model, test_name):
+    program = library.get(test_name)
+    return (
+        run_litmus(full, program).verdict,
+        run_litmus(ablated_model, program).verdict,
+    )
+
+
+def test_ablate_a_cumulativity(benchmark, lkmm_cat):
+    """Without A-cumul, the release in WRC+po-rel+rmb no longer extends
+    to the external write it read — Figure 5 becomes allowed."""
+    model = ablated(
+        "let cumul-fence = A-cumul(strong-fence | po-rel) | wmb",
+        "let cumul-fence = (strong-fence | po-rel) | wmb",
+    )
+    full, cut = once(
+        benchmark, lambda: run_pair(lkmm_cat, model, "WRC+po-rel+rmb")
+    )
+    assert (full, cut) == ("Forbid", "Allow")
+
+
+def test_ablate_rrdep_prefix(benchmark, lkmm_cat):
+    """Without the rrdep* prefix, the address dependency feeding the
+    acquire in Figure 9 no longer composes into ppo."""
+    model = ablated(
+        "let ppo = rrdep* ; (to-r | to-w | fence)",
+        "let ppo = to-r | to-w | fence",
+    )
+    full, cut = once(
+        benchmark, lambda: run_pair(lkmm_cat, model, "MP+wmb+addr-acq")
+    )
+    assert (full, cut) == ("Forbid", "Allow")
+
+
+def test_ablate_control_dependencies(benchmark, lkmm_cat):
+    """Without ctrl in rwdep the model behaves like C11 on Figure 4."""
+    model = ablated(
+        "let rwdep = (dep | ctrl) & (R * W)",
+        "let rwdep = dep & (R * W)",
+    )
+    full, cut = once(
+        benchmark, lambda: run_pair(lkmm_cat, model, "LB+ctrl+mb")
+    )
+    assert (full, cut) == ("Forbid", "Allow")
+
+
+def test_ablate_gp_strong_fence(benchmark, lkmm_cat):
+    """Grace periods as strong fences: cutting gp out of strong-fence
+    alone changes nothing on SB+mb+sync — the RCU *axiom* independently
+    forbids any cycle with one GP and no RSCS (rcu-path = gp-link | ...).
+    Only cutting both reveals the strength synchronize_rcu contributes."""
+    without_strong = ablated(
+        "let strong-fence = mb | gp",
+        "let strong-fence = mb",
+    )
+    without_both = CatModel.from_source(
+        LKMM_SOURCE.replace("let strong-fence = mb | gp", "let strong-fence = mb")
+        .replace("irreflexive rcu-path as rcu", ""),
+        name="lkmm-no-gp-no-rcu",
+    )
+
+    def experiment():
+        program = library.get("SB+mb+sync")
+        return (
+            run_litmus(lkmm_cat, program).verdict,
+            run_litmus(without_strong, program).verdict,
+            run_litmus(without_both, program).verdict,
+        )
+
+    full, cut_strong, cut_both = once(benchmark, experiment)
+    assert (full, cut_strong, cut_both) == ("Forbid", "Forbid", "Allow")
+    # The RCU axiom proper still forbids RCU-MP without gp-as-strong-fence.
+    assert run_litmus(without_strong, library.get("RCU-MP")).verdict == "Forbid"
+
+
+def test_ablate_rb_dep_guard(benchmark, lkmm_cat):
+    """Dropping the rb-dep guard (pretending every architecture respects
+    dependent reads, i.e. ignoring Alpha) *strengthens* the model: the
+    MP+wmb+addr outcome flips from Allow to Forbid."""
+    model = ablated(
+        "let strong-rrdep = rrdep+ & rb-dep",
+        "let strong-rrdep = rrdep+",
+    )
+    full, cut = once(
+        benchmark, lambda: run_pair(lkmm_cat, model, "MP+wmb+addr")
+    )
+    assert (full, cut) == ("Allow", "Forbid")
+
+
+def test_ablation_matrix(benchmark, lkmm_cat):
+    """Every ablation leaves the rest of Table 5's Model column intact —
+    each component is *only* responsible for its own tests."""
+    ablations = {
+        "no-A-cumul": ablated(
+            "let cumul-fence = A-cumul(strong-fence | po-rel) | wmb",
+            "let cumul-fence = (strong-fence | po-rel) | wmb",
+        ),
+        "no-ctrl": ablated(
+            "let rwdep = (dep | ctrl) & (R * W)",
+            "let rwdep = dep & (R * W)",
+        ),
+    }
+    affected = {
+        "no-A-cumul": {"WRC+po-rel+rmb"},
+        "no-ctrl": {"LB+ctrl+mb"},
+    }
+
+    def experiment():
+        rows = []
+        for name in library.TABLE5:
+            program = library.get(name)
+            row = [name, run_litmus(lkmm_cat, program).verdict]
+            for model in ablations.values():
+                row.append(run_litmus(model, program).verdict)
+            rows.append(tuple(row))
+        return rows
+
+    rows = once(benchmark, experiment)
+    print_table(
+        "Ablation matrix over Table 5",
+        ("Test", "full", *ablations),
+        rows,
+    )
+    for row in rows:
+        name, full_verdict, *cut_verdicts = row
+        for ablation_name, verdict in zip(ablations, cut_verdicts):
+            if name in affected[ablation_name]:
+                assert verdict != full_verdict, (name, ablation_name)
+            else:
+                assert verdict == full_verdict, (name, ablation_name)

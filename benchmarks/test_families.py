@@ -1,0 +1,116 @@
+"""E16 — systematic variation sweeps (Section 5's validation method).
+
+For each communication skeleton (MP, SB, LB, R, 2+2W, WRC) sweep every
+combination of program-order edges, judge each variation under the LK
+model, and check:
+
+* spot verdicts that anchor each family to the paper (e.g. the MP family
+  contains MP -> Allow and MP+wmb+rmb -> Forbid);
+* **monotonicity**: replacing an edge with a stronger one (po -> wmb ->
+  mb -> grace period, addr -> addr+rb-dep, ...) never flips a verdict
+  from Forbid back to Allow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diy.families import FAMILIES, check_monotonicity, family
+from repro.herd import run_litmus
+
+from conftest import once, print_table
+
+#: Verdicts pinned by the paper / the model's definitions, per family.
+ANCHORS = {
+    "MP": {
+        ("PodRR", "PodWW"): "Allow",
+        ("RmbdRR", "WmbdWW"): "Forbid",       # Figure 2
+        ("DpAddrdR", "WmbdWW"): "Allow",      # Alpha
+        ("DpAddrRbDepdR", "WmbdWW"): "Forbid",
+        ("AcqdR", "ReldW"): "Forbid",
+        ("SyncdRR", "SyncdWW"): "Forbid",
+    },
+    "SB": {
+        ("PodWR", "PodWR"): "Allow",
+        ("MbdWR", "MbdWR"): "Forbid",         # Figure 6
+        ("MbdWR", "PodWR"): "Allow",
+        ("SyncdWR", "MbdWR"): "Forbid",
+    },
+    "LB": {
+        ("PodRW", "PodRW"): "Allow",
+        ("DpCtrldW", "MbdRW"): "Forbid",      # Figure 4
+        ("DpDatadW", "DpDatadW"): "Forbid",   # no thin air
+        ("ReldW", "PodRW"): "Allow",
+    },
+    "2+2W": {
+        ("PodWW", "PodWW"): "Allow",
+        ("WmbdWW", "WmbdWW"): "Allow",        # pb needs strong fences
+        ("MbdWW", "MbdWW"): "Forbid",
+    },
+    "R": {
+        ("PodWR", "PodWW"): "Allow",
+        ("MbdWR", "MbdWW"): "Forbid",
+    },
+    "WRC": {
+        ("PodRW", "PodRR"): "Allow",
+        ("DpDatadW", "AcqdR"): "Allow",       # needs cumulativity
+        ("ReldW", "RmbdRR"): "Forbid",        # Figure 5
+        ("MbdRW", "MbdRR"): "Forbid",
+    },
+}
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+def test_family_sweep(benchmark, lkmm, family_name):
+    def experiment():
+        verdicts = {}
+        for member in family(family_name):
+            verdicts[member.po_edges] = run_litmus(
+                lkmm, member.program
+            ).verdict
+        return verdicts
+
+    verdicts = once(benchmark, experiment)
+    forbid = sum(1 for v in verdicts.values() if v == "Forbid")
+    print(
+        f"\n{family_name} family: {len(verdicts)} variations, "
+        f"{forbid} Forbid / {len(verdicts) - forbid} Allow"
+    )
+
+    for edges, expected in ANCHORS[family_name].items():
+        assert verdicts[edges] == expected, (family_name, edges)
+
+    violations = check_monotonicity(verdicts)
+    assert not violations, (
+        f"{family_name}: strengthening flipped Forbid back to Allow: "
+        f"{violations[:3]}"
+    )
+
+
+def test_family_totals(benchmark, lkmm):
+    """The overall sweep: several hundred systematically generated tests,
+    all judged, all monotone."""
+
+    def experiment():
+        rows = []
+        total = 0
+        for family_name in sorted(FAMILIES):
+            verdicts = {}
+            for member in family(family_name):
+                verdicts[member.po_edges] = run_litmus(
+                    lkmm, member.program
+                ).verdict
+            total += len(verdicts)
+            forbid = sum(1 for v in verdicts.values() if v == "Forbid")
+            rows.append(
+                (family_name, len(verdicts), forbid, len(verdicts) - forbid)
+            )
+        return rows, total
+
+    rows, total = once(benchmark, experiment)
+    print_table(
+        f"Systematic variation sweep ({total} tests)",
+        ("Family", "variations", "Forbid", "Allow"),
+        rows,
+    )
+    assert total >= 150

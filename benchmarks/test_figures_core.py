@@ -1,0 +1,181 @@
+"""E2-E7 — the core-model figures.
+
+Each figure of Section 3 exhibits a litmus test, states its verdict, and
+walks through the relations that forbid it.  These benchmarks re-derive
+both: the verdict, and the specific relation facts the paper's prose
+asserts (e.g. for Figure 5, that A-cumulativity puts (a, c) in
+cumul-fence).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.herd import run_litmus
+from repro.litmus import library
+from repro.lkmm import explain_forbidden
+from repro.lkmm.model import LkmmRelations
+
+from conftest import once
+
+
+def witness(name):
+    program = library.get(name)
+    return next(
+        x
+        for x in candidate_executions(program)
+        if program.condition.evaluate(x.final_state)
+    )
+
+
+def by_label(x, label):
+    return next(e for e in x.events if e.label == label)
+
+
+def test_fig2_mp_wmb_rmb(benchmark, lkmm):
+    """Figure 2: MP+wmb+rmb is forbidden; (d, b) ∈ prop via fre then the
+    wmb cumul-fence, and the hb cycle closes through the rmb ppo."""
+
+    def experiment():
+        x = witness("MP+wmb+rmb")
+        return x, LkmmRelations(x), lkmm.check(x)
+
+    x, rel, result = once(benchmark, experiment)
+    assert run_litmus(lkmm, library.get("MP+wmb+rmb")).verdict == "Forbid"
+    assert not result.allowed
+
+    a, b = by_label(x, "a"), by_label(x, "b")  # T0: Wx, Wy
+    c, d = by_label(x, "c"), by_label(x, "d")  # T1: Ry, Rx
+    assert (a, b) in rel.prop            # "a and b ... related by prop"
+    assert (d, b) in rel.prop            # "d is overwritten by a; (d,b) ∈ prop"
+    assert (c, d) in rel.ppo             # rmb
+    assert (d, c) in rel.hb              # prop ∩ int
+    print("\n" + explain_forbidden(x))
+
+
+def test_fig4_lb_ctrl_mb(benchmark, lkmm):
+    """Figure 4: LB+ctrl+mb forbidden; removing the dependency or the
+    fence makes it allowed (as observed on ARMv7)."""
+
+    def experiment():
+        return {
+            "LB+ctrl+mb": run_litmus(lkmm, library.get("LB+ctrl+mb")).verdict,
+            "LB+ctrl": run_litmus(lkmm, library.get("LB+ctrl")).verdict,
+            "LB+po+mb": run_litmus(lkmm, library.get("LB+po+mb")).verdict,
+        }
+
+    verdicts = once(benchmark, experiment)
+    assert verdicts == {
+        "LB+ctrl+mb": "Forbid",
+        "LB+ctrl": "Allow",
+        "LB+po+mb": "Allow",
+    }
+
+    x = witness("LB+ctrl+mb")
+    rel = LkmmRelations(x)
+    a, b = by_label(x, "a"), by_label(x, "b")
+    c, d = by_label(x, "c"), by_label(x, "d")
+    assert (a, b) in x.ctrl and (a, b) in rel.ppo
+    assert (c, d) in rel.mb and (c, d) in rel.ppo
+    assert (b, c) in x.rfe and (d, a) in x.rfe  # the paper's hb cycle
+
+
+def test_fig5_wrc_po_rel_rmb(benchmark, lkmm):
+    """Figure 5: WRC+po-rel+rmb forbidden via A-cumulativity of the
+    release: (a, c) ∈ cumul-fence even though a and c are in different
+    threads."""
+
+    def experiment():
+        x = witness("WRC+po-rel+rmb")
+        return x, LkmmRelations(x)
+
+    x, rel = once(benchmark, experiment)
+    assert run_litmus(lkmm, library.get("WRC+po-rel+rmb")).verdict == "Forbid"
+
+    a = by_label(x, "a")              # T0: Wx
+    b, c = by_label(x, "b"), by_label(x, "c")  # T1: Rx, Wrel y
+    d, e = by_label(x, "d"), by_label(x, "e")  # T2: Ry, Rx
+    assert (b, c) in rel.po_rel
+    assert (a, b) in x.rfe
+    assert (a, c) in rel.cumul_fence  # A-cumul(po-rel)
+    assert (e, d) in rel.prop and e.tid == d.tid  # (prop\id) & int
+    assert (d, e) in rel.ppo          # rmb
+    assert not rel.hb.is_acyclic()
+
+
+def test_fig6_sb_mbs(benchmark, lkmm):
+    """Figure 6: SB+mbs forbidden via a symmetric pb cycle."""
+
+    def experiment():
+        x = witness("SB+mbs")
+        return x, LkmmRelations(x)
+
+    x, rel = once(benchmark, experiment)
+    assert run_litmus(lkmm, library.get("SB+mbs")).verdict == "Forbid"
+
+    a, b = by_label(x, "a"), by_label(x, "b")  # T0: Wx, Ry
+    c, d = by_label(x, "c"), by_label(x, "d")  # T1: Wy, Rx
+    assert (d, a) in rel.prop   # "d is overwritten by a"
+    assert (d, b) in rel.pb     # prop ; strong-fence
+    assert (b, d) in rel.pb     # by symmetry
+    assert not rel.pb.is_acyclic()
+
+
+def test_fig7_peterz(benchmark, lkmm):
+    """Figure 7: PeterZ forbidden; two strong fences close the pb cycle
+    through the release's cumulativity."""
+
+    def experiment():
+        x = witness("PeterZ")
+        return x, LkmmRelations(x)
+
+    x, rel = once(benchmark, experiment)
+    assert run_litmus(lkmm, library.get("PeterZ")).verdict == "Forbid"
+    assert run_litmus(lkmm, library.get("PeterZ-No-Synchro")).verdict == "Allow"
+
+    a, b = by_label(x, "a"), by_label(x, "b")  # T0: Wx, Ry
+    c, d = by_label(x, "c"), by_label(x, "d")  # T1: Wy, Wrel z
+    e, f = by_label(x, "e"), by_label(x, "f")  # T2: Rz, Rx
+    assert (b, c) in x.fr        # "b is overwritten by c"
+    assert (d, e) in x.rf        # "the release d is read by e"
+    assert (b, e) in rel.prop    # the paper's (b, e) ∈ prop
+    assert (b, f) in rel.pb
+    assert (f, a) in rel.prop    # "idem f and a"
+    assert (f, b) in rel.pb
+    assert not rel.pb.is_acyclic()
+
+
+def test_fig9_mp_wmb_addr_acq(benchmark, lkmm):
+    """Figure 9: MP+wmb+addr-acq forbidden via the rrdep* prefix of ppo
+    (an address dependency feeding an acquire)."""
+
+    def experiment():
+        return {
+            "MP+wmb+addr-acq": run_litmus(
+                lkmm, library.get("MP+wmb+addr-acq")
+            ).verdict,
+            # Without the acquire the read-read address dependency alone
+            # is not preserved (Alpha):
+            "MP+wmb+addr": run_litmus(lkmm, library.get("MP+wmb+addr")).verdict,
+            # With smp_read_barrier_depends it is:
+            "MP+wmb+addr-rbdep": run_litmus(
+                lkmm, library.get("MP+wmb+addr-rbdep")
+            ).verdict,
+        }
+
+    verdicts = once(benchmark, experiment)
+    assert verdicts == {
+        "MP+wmb+addr-acq": "Forbid",
+        "MP+wmb+addr": "Allow",
+        "MP+wmb+addr-rbdep": "Forbid",
+    }
+
+    x = witness("MP+wmb+addr-acq")
+    rel = LkmmRelations(x)
+    c = next(e for e in x.events if e.is_read and e.loc == "p")
+    d = next(e for e in x.events if e.is_read and e.has_tag("acquire"))
+    e = next(ev for ev in x.events if ev.is_read and ev.loc == "x")
+    assert (c, d) in rel.rrdep      # the address dependency
+    assert (d, e) in rel.acq_po     # the acquire
+    assert (c, e) in rel.ppo        # rrdep* ; acq-po

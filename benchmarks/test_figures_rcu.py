@@ -1,0 +1,93 @@
+"""E8, E9 — the RCU figures (Section 4).
+
+Figure 10 (RCU-MP) and Figure 11 (RCU-deferred-free) are both forbidden;
+the benchmarks re-derive the paper's case analysis of the fundamental
+law: whichever way the precedes function orders the RSCS against the GP,
+the enlarged pb(F) has a cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.herd import run_litmus
+from repro.litmus import library
+from repro.rcu import critical_sections, grace_periods, rcu_fence
+from repro.rcu.axiom import rcu_axiom_holds
+from repro.rcu.law import GP_FIRST, RSCS_FIRST, enlarged_pb, fundamental_law_holds
+
+from conftest import once
+
+
+def witness(name):
+    program = library.get(name)
+    return next(
+        x
+        for x in candidate_executions(program)
+        if program.condition.evaluate(x.final_state)
+    )
+
+
+def test_fig10_rcu_mp(benchmark, lkmm):
+    """Figure 10: RCU-MP forbidden, with the paper's two-branch analysis."""
+
+    def experiment():
+        x = witness("RCU-MP")
+        (rscs,) = critical_sections(x)
+        (gp,) = grace_periods(x)
+        branches = {}
+        for choice in (RSCS_FIRST, GP_FIRST):
+            pb = enlarged_pb(x, {(rscs, gp): choice})
+            branches[choice] = pb.is_acyclic()
+        return x, rscs, gp, branches
+
+    x, rscs, gp, branches = once(benchmark, experiment)
+    assert run_litmus(lkmm, library.get("RCU-MP")).verdict == "Forbid"
+    # Neither branch of F rescues the execution (Section 4.1).
+    assert branches == {RSCS_FIRST: False, GP_FIRST: False}
+    assert not fundamental_law_holds(x)
+    assert not rcu_axiom_holds(x)
+
+    # The specific rcu-fence facts of the walk-through: with
+    # F(RSCS,GP)=RSCS, (a, d) ∈ rcu-fence; with GP, (c, b) ∈ rcu-fence.
+    a = next(e for e in x.events if e.is_read and e.loc == "x")
+    b = next(e for e in x.events if e.is_read and e.loc == "y")
+    c = next(e for e in x.events if e.is_write and e.loc == "y" and not e.is_init)
+    d = next(e for e in x.events if e.is_write and e.loc == "x" and not e.is_init)
+    assert (a, d) in rcu_fence(x, {(rscs, gp): RSCS_FIRST})
+    assert (c, b) in rcu_fence(x, {(rscs, gp): GP_FIRST})
+
+
+def test_fig11_rcu_deferred_free(benchmark, lkmm):
+    """Figure 11: swapping the reads keeps the pattern forbidden — unlike
+    with plain fences, where MP only protects one direction."""
+
+    def experiment():
+        return {
+            "RCU-deferred-free": run_litmus(
+                lkmm, library.get("RCU-deferred-free")
+            ).verdict,
+            "RCU-MP": run_litmus(lkmm, library.get("RCU-MP")).verdict,
+        }
+
+    verdicts = once(benchmark, experiment)
+    assert verdicts == {"RCU-deferred-free": "Forbid", "RCU-MP": "Forbid"}
+    assert not fundamental_law_holds(witness("RCU-deferred-free"))
+
+
+def test_rcu_counting_rule(benchmark, lkmm):
+    """The rule of thumb behind Theorem 1: a cycle is forbidden iff it has
+    at least as many grace periods as critical sections."""
+
+    def experiment():
+        return {
+            name: run_litmus(lkmm, library.get(name)).verdict
+            for name in ("RCU-2GP-2RSCS", "RCU-1GP-2RSCS")
+        }
+
+    verdicts = once(benchmark, experiment)
+    assert verdicts == {
+        "RCU-2GP-2RSCS": "Forbid",  # 2 GPs vs 2 RSCSes
+        "RCU-1GP-2RSCS": "Allow",   # 1 GP vs 2 RSCSes
+    }

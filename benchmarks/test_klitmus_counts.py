@@ -1,0 +1,85 @@
+"""E15 — klitmus-style hardware runs (Section 5.1).
+
+Runs every Table 5 test on every simulated machine (including the RCU
+rows, which the operational simulator handles natively) and regenerates
+the observation-count cells.  Every state the simulator produces is also
+checked against the LK model on the source program — the operational
+counterpart of the soundness claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.hardware import run_klitmus
+from repro.hardware.archspec import TABLE5_ARCHS
+from repro.litmus import library
+
+from conftest import once, print_table
+
+RUNS = 3000
+
+
+def test_klitmus_all_rows(benchmark, lkmm):
+    def experiment():
+        table = {}
+        for name in library.TABLE5:
+            program = library.get(name)
+            table[name] = {
+                arch: run_klitmus(program, arch, runs=RUNS)
+                for arch in TABLE5_ARCHS
+            }
+        return table
+
+    table = once(benchmark, experiment)
+    rows = [
+        (name, *(table[name][arch].summary() for arch in TABLE5_ARCHS))
+        for name in library.TABLE5
+    ]
+    print_table(
+        "klitmus-style observation counts (simulated machines)",
+        ("Test", *TABLE5_ARCHS),
+        rows,
+    )
+
+    for name in library.TABLE5:
+        verdict = library.PAPER_VERDICTS[name]["LK"]
+        for arch in TABLE5_ARCHS:
+            if verdict == "Forbid":
+                assert table[name][arch].observed == 0, (name, arch)
+
+
+def test_operational_soundness_against_lkmm(benchmark, lkmm):
+    """Every state the simulator reaches (projected onto the source
+    program's observables) is LK-allowed."""
+
+    def experiment():
+        mismatches = []
+        for name in library.TABLE5:
+            program = library.get(name)
+            lk_states = {
+                x.final_state
+                for x in candidate_executions(program)
+                if lkmm.allows(x)
+            }
+
+            def project(state):
+                registers = {
+                    key: value
+                    for key, value in state.registers.items()
+                    if not key[1].startswith("__")
+                }
+                from repro.litmus.outcomes import FinalState
+
+                return FinalState(registers, dict(state.memory))
+
+            for arch in TABLE5_ARCHS:
+                result = run_klitmus(program, arch, runs=800)
+                for state in result.histogram:
+                    if project(state) not in lk_states:
+                        mismatches.append((name, arch, state))
+        return mismatches
+
+    mismatches = once(benchmark, experiment)
+    assert not mismatches, mismatches[:3]

@@ -1,0 +1,76 @@
+"""E12 — Theorem 2: correctness of the Figure 15 RCU implementation.
+
+Inline the userspace-RCU implementation into the RCU tests (P -> P',
+Figure 16) and check, exhaustively over the LK-allowed executions of P'
+(with the implementation's wait loops unrolled to a bound), that every
+outcome projects onto an LK-allowed outcome of P.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.herd import run_litmus
+from repro.litmus import library
+from repro.lkmm import LinuxKernelModel
+from repro.rcu import inline_rcu, verify_implementation
+
+from conftest import once
+
+
+def test_theorem2_rcu_mp(benchmark):
+    def experiment():
+        return verify_implementation(library.get("RCU-MP"), loop_bound=1)
+
+    report = once(benchmark, experiment)
+    print(f"\n{report.describe()}")
+    assert report.holds
+    assert report.impl_allowed > 0
+    # Completeness too, on this test: the implementation reaches every
+    # specification outcome.
+    assert report.impl_outcomes == report.spec_outcomes
+
+
+def test_theorem2_deferred_free(benchmark):
+    def experiment():
+        return verify_implementation(
+            library.get("RCU-deferred-free"), loop_bound=1
+        )
+
+    report = once(benchmark, experiment)
+    print(f"\n{report.describe()}")
+    assert report.holds
+
+
+def test_forbidden_outcome_forbidden_in_implementation(benchmark, lkmm):
+    """Figure 16's scenario directly: the inlined RCU-MP still forbids
+    the (r0=1, r1=0) witness."""
+
+    def experiment():
+        inlined = inline_rcu(library.get("RCU-MP"), loop_bound=1)
+        return run_litmus(lkmm, inlined, require_sc_per_location=True)
+
+    result = once(benchmark, experiment)
+    print(
+        f"\nRCU-MP+urcu: {result.verdict} "
+        f"({result.allowed} allowed / {result.candidates} candidates)"
+    )
+    assert result.verdict == "Forbid"
+    assert result.allowed > 0  # the check is not vacuous
+
+
+def test_theorem2_with_deeper_unrolling(benchmark, lkmm):
+    """Bound 2: executions where the grace period actually has to wait
+    one full iteration for the reader are included."""
+
+    def experiment():
+        inlined = inline_rcu(library.get("RCU-MP"), loop_bound=2)
+        return run_litmus(lkmm, inlined, require_sc_per_location=True)
+
+    result = once(benchmark, experiment)
+    print(
+        f"\nRCU-MP+urcu (bound 2): {result.verdict} "
+        f"({result.allowed} allowed / {result.candidates} candidates)"
+    )
+    assert result.verdict == "Forbid"
+    assert result.allowed > 0

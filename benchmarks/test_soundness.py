@@ -1,0 +1,95 @@
+"""E14 — the soundness sweep (Section 5.1).
+
+"Table 5 shows that all the hardware behaviours we observed are allowed
+by the model: our model is experimentally sound."
+
+Here the claim is checked mechanically and more broadly: for every test
+in the corpus *and* a sweep of diy-generated cycles, every final state
+allowed by an architecture model (on the compiled program) is allowed by
+the LK model (on the source program).  The reverse inclusion does not
+hold — "the machines are stronger than required by our model" — and the
+sweep also counts how often each architecture is strictly stronger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import load_model
+from repro.diy import generate_cycles
+from repro.executions import candidate_executions
+from repro.hardware import compile_program, get_arch
+from repro.hardware.archspec import TABLE5_ARCHS
+from repro.litmus import library
+
+from conftest import once, print_table
+
+VOCAB = [
+    "Rfe", "Fre", "Coe",
+    "PodRR", "PodRW", "PodWR", "PodWW",
+    "MbdRR", "MbdWR", "MbdWW", "WmbdWW", "RmbdRR",
+    "DpDatadW", "DpAddrdR", "AcqdR", "ReldW",
+]
+
+ARCHS = TABLE5_ARCHS + ["Alpha"]
+
+
+def allowed_states(model, program):
+    return {
+        x.final_state
+        for x in candidate_executions(program)
+        if model.allows(x)
+    }
+
+
+def sweep(lkmm, programs):
+    arch_models = {name: load_model(get_arch(name).cat_model) for name in ARCHS}
+    unsound = []
+    stronger_counts = {name: 0 for name in ARCHS}
+    tests = 0
+    for program in programs:
+        lk_states = allowed_states(lkmm, program)
+        tests += 1
+        for arch_name in ARCHS:
+            arch = get_arch(arch_name)
+            compiled = compile_program(program, arch, rcu="error")
+            arch_states = allowed_states(arch_models[arch_name], compiled)
+            if arch_states - lk_states:
+                unsound.append((program.name, arch_name))
+            if lk_states - arch_states:
+                stronger_counts[arch_name] += 1
+    return tests, unsound, stronger_counts
+
+
+def test_soundness_on_corpus(benchmark, lkmm):
+    def experiment():
+        programs = [
+            library.get(name)
+            for name in library.all_names()
+            if not name.startswith("RCU")
+            and "sync" not in name
+            and name != "lock-mutex"
+        ]
+        return sweep(lkmm, programs)
+
+    tests, unsound, stronger = once(benchmark, experiment)
+    print_table(
+        f"Soundness sweep over {tests} corpus tests x {len(ARCHS)} archs",
+        ("Arch", "tests where hardware model is strictly stronger"),
+        sorted(stronger.items()),
+    )
+    assert not unsound, f"unsound combinations: {unsound}"
+    # Hardware being strictly stronger somewhere is expected (e.g. LB on
+    # x86, MP+wmb+addr on everything but Alpha).
+    assert stronger["x86"] > 0
+
+
+def test_soundness_on_generated_cycles(benchmark, lkmm):
+    def experiment():
+        programs = list(generate_cycles(VOCAB, 4, max_tests=120))
+        return (len(programs),) + sweep(lkmm, programs)[1:]
+
+    count, unsound, stronger = once(benchmark, experiment)
+    print(f"\nSoundness holds on {count} generated cycles x {len(ARCHS)} archs")
+    assert count >= 100
+    assert not unsound, f"unsound combinations: {unsound}"

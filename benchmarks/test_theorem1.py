@@ -1,0 +1,60 @@
+"""E13 — Theorem 1: the RCU axiom is equivalent to the fundamental law.
+
+The paper proves the equivalence on paper; we *decide* both sides on
+every candidate execution of (a) the RCU corpus and (b) a sweep of
+diy-generated RCU cycles, and check they always agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diy import generate_cycles
+from repro.litmus import library
+from repro.rcu.theorems import Theorem1Summary, check_theorem1_on_program
+
+from conftest import once
+
+RCU_CORPUS = [
+    "RCU-MP",
+    "RCU-deferred-free",
+    "RCU-MP+nested",
+    "RCU-1GP-2RSCS",
+    "RCU-2GP-2RSCS",
+    "SB+mb+sync",
+    # Non-RCU tests degenerate to the Pb axiom — the equivalence must
+    # hold there too.
+    "MP+wmb+rmb",
+    "SB+mbs",
+    "PeterZ",
+]
+
+#: Edge vocabulary mixing grace periods with fences and dependencies.
+SYNC_VOCAB = ["Rfe", "Fre", "SyncdRR", "SyncdWW", "SyncdWR", "MbdRR", "PodWW"]
+
+
+def test_theorem1_on_corpus(benchmark):
+    def experiment():
+        summary = Theorem1Summary()
+        for name in RCU_CORPUS:
+            check_theorem1_on_program(library.get(name), summary)
+        return summary
+
+    summary = once(benchmark, experiment)
+    print(f"\n{summary.describe()}")
+    assert summary.holds
+    assert summary.executions >= 50
+
+
+def test_theorem1_on_generated_cycles(benchmark):
+    def experiment():
+        summary = Theorem1Summary()
+        for length in (4, 5):
+            for program in generate_cycles(SYNC_VOCAB, length, max_tests=60):
+                check_theorem1_on_program(program, summary)
+        return summary
+
+    summary = once(benchmark, experiment)
+    print(f"\n{summary.describe()} (diy-generated)")
+    assert summary.holds
+    assert summary.executions >= 100

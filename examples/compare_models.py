@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Portability matrix: one idiom, every model.
+
+For a handful of synchronisation idioms, print the verdict under the LK
+model, under C11 (via the mapping of the paper's Section 5.2), and under
+each architecture model after compiling the kernel primitives the way
+the kernel's headers do.  This is the everyday question the executable
+model answers: *which guarantees does this code actually have, where?*
+"""
+
+from repro import LinuxKernelModel, litmus_library, load_model, run_litmus
+from repro.hardware import compile_program, get_arch
+from repro.hardware.compile import CompileError
+
+IDIOMS = [
+    "MP+wmb+rmb",
+    "MP+po-rel+acq",
+    "MP+wmb+addr",
+    "MP+wmb+addr-rbdep",
+    "SB+mbs",
+    "LB+ctrl+mb",
+    "WRC+wmb+acq",
+    "RWC+mbs",
+    "RCU-MP",
+]
+
+ARCHS = ["x86", "Power8", "ARMv8", "ARMv7", "Alpha"]
+
+
+def main() -> None:
+    lkmm = LinuxKernelModel()
+    c11 = load_model("c11")
+    arch_models = {name: load_model(get_arch(name).cat_model) for name in ARCHS}
+
+    header = f"{'idiom':20s} {'LK':7s} {'C11':7s} " + " ".join(
+        f"{a:7s}" for a in ARCHS
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name in IDIOMS:
+        test = litmus_library.get(name)
+        row = [f"{name:20s}"]
+        row.append(f"{run_litmus(lkmm, test).verdict:7s}")
+        if any(
+            tag in src
+            for tag in ("rcu_read_lock", "synchronize_rcu")
+            for src in [litmus_library.SOURCES[name]]
+        ):
+            row.append(f"{'-':7s}")  # no C11 counterpart for RCU
+        else:
+            row.append(f"{run_litmus(c11, test).verdict:7s}")
+        for arch_name in ARCHS:
+            arch = get_arch(arch_name)
+            try:
+                compiled = compile_program(test, arch, rcu="error")
+            except CompileError:
+                row.append(f"{'-':7s}")
+                continue
+            verdict = run_litmus(arch_models[arch_name], compiled).verdict
+            row.append(f"{verdict:7s}")
+        print(" ".join(row))
+
+    print(
+        "\nReading the matrix:\n"
+        " * Forbid under LK = code may rely on it everywhere the kernel runs.\n"
+        " * Allow under LK but Forbid on your machine = works today, breaks\n"
+        "   on the next architecture (e.g. MP+wmb+addr is Forbid everywhere\n"
+        "   except Alpha — exactly why smp_read_barrier_depends exists).\n"
+        " * The C11 column shows where the kernel model and the C11 mapping\n"
+        "   disagree (control dependencies, seq_cst fences, smp_wmb)."
+    )
+
+
+if __name__ == "__main__":
+    main()

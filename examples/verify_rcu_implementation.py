@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Verifying an RCU implementation (Section 6 of the paper).
+
+The userspace RCU implementation of Figure 15 (used by the Linux trace
+tool) implements grace periods with per-thread counters ``rc[i]`` and a
+two-phase flag ``gc``.  The paper proves (Theorem 2) that replacing the
+RCU primitives of any program with this code preserves the fundamental
+law.  Here we *check* that, exhaustively and bounded, on RCU-MP:
+
+1. inline the implementation (P -> P', the paper's Figure 16);
+2. enumerate every candidate execution of P' the LK model allows (with
+   the implementation's wait loop unrolled up to a bound);
+3. project each allowed outcome onto P's observables and confirm it is an
+   outcome the LK model allows for P.
+"""
+
+from repro import LinuxKernelModel, litmus_library, run_litmus
+from repro.litmus.writer import write_litmus
+from repro.rcu import inline_rcu, verify_implementation
+
+
+def main() -> None:
+    program = litmus_library.get("RCU-MP")
+    model = LinuxKernelModel()
+
+    print("The specification program (RCU primitives as events):\n")
+    print(write_litmus(program))
+    print(f"LK verdict: {run_litmus(model, program).verdict}\n")
+
+    inlined = inline_rcu(program, loop_bound=1)
+    print(
+        f"After inlining Figure 15 (P' = {inlined.name}): "
+        f"{inlined.num_threads} threads over locations "
+        f"{', '.join(inlined.locations())}"
+    )
+    print(
+        "The updater's synchronize_rcu became: smp_mb; mutex_lock;\n"
+        "two update_counter_and_wait phases (each flips the GP_PHASE bit\n"
+        "of gc and re-reads rc[0] until the reader is quiescent);\n"
+        "mutex_unlock; smp_mb.\n"
+    )
+
+    result = run_litmus(model, inlined, require_sc_per_location=True)
+    print(f"Exhaustive check of P': {result.describe()}")
+    print(
+        "-> the witness outcome (reader sees the post-GP write but misses "
+        "the\n   pre-GP one) is forbidden for the implementation too.\n"
+    )
+
+    report = verify_implementation(program, loop_bound=1)
+    print(report.describe())
+    print(
+        "\nEvery outcome the implementation can produce is an outcome the\n"
+        "specification allows (and here the sets coincide exactly), i.e.\n"
+        "the bounded, finite-execution rendering of Theorem 2 holds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — an executable Linux-kernel memory model.
+
+A from-scratch Python reproduction of *"Frightening Small Children and
+Disconcerting Grown-ups: Concurrency in the Linux Kernel"* (Alglave,
+Maranget, McKenney, Parri, Stern — ASPLOS 2018): the LK memory model in
+the cat language with a herd-style simulator, the RCU formalisation
+(fundamental law + axiom + theorem checkers), comparison models (C11 and
+per-architecture hardware models), a klitmus-style operational hardware
+simulator, and a diy-style litmus-test generator.
+
+Quickstart::
+
+    from repro import litmus_library, LinuxKernelModel, run_litmus
+
+    test = litmus_library.get("MP+wmb+rmb")
+    result = run_litmus(LinuxKernelModel(), test)
+    assert result.verdict == "Forbid"
+
+See ``examples/quickstart.py`` for a tour.
+"""
+
+from repro import litmus
+from repro.litmus import library as litmus_library
+from repro.litmus.parser import parse_litmus
+from repro.executions import candidate_executions, CandidateExecution
+from repro.lkmm import LinuxKernelModel, explain_forbidden
+from repro.cat import CatModel, load_model
+from repro.herd import run_litmus, verdicts, RunResult, ALLOW, FORBID
+from repro.hardware import (
+    compile_program,
+    get_arch,
+    run_klitmus,
+    OperationalSimulator,
+)
+from repro.model import Model, ModelResult
+from repro import rcu
+from repro import diy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "litmus",
+    "litmus_library",
+    "parse_litmus",
+    "candidate_executions",
+    "CandidateExecution",
+    "LinuxKernelModel",
+    "explain_forbidden",
+    "CatModel",
+    "load_model",
+    "run_litmus",
+    "verdicts",
+    "RunResult",
+    "ALLOW",
+    "FORBID",
+    "compile_program",
+    "get_arch",
+    "run_klitmus",
+    "OperationalSimulator",
+    "Model",
+    "ModelResult",
+    "rcu",
+    "diy",
+    "__version__",
+]

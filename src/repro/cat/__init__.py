@@ -1,0 +1,26 @@
+"""The cat language: formal, executable consistency models.
+
+cat (Alglave, Cousot, Maranget — "Syntax and semantics of the weak
+consistency model specification language cat") lets one define a memory
+model as a set of relational constraints over candidate executions.  The
+paper's LK model is written in cat so that it is both *formal* (cat has a
+formal semantics) and *executable* (by the herd simulator).
+
+This package implements the cat subset the paper's models need:
+
+* ``let`` / ``let rec ... and ...`` bindings, including least fixpoints for
+  recursive definitions (the RCU axiom's ``rcu-path``);
+* function definitions and applications (``A-cumul``, ``fencerel``);
+* the operators ``|``, ``&``, ``\\``, ``;``, ``~``, ``?``, ``+``, ``*``,
+  ``^-1``, ``[S]``, and cartesian product ``S * T``;
+* the checks ``acyclic``, ``irreflexive``, ``empty`` (optionally negated
+  with ``~`` and/or marked ``flag``).
+
+Model files live in ``repro/cat/models/*.cat`` and are loaded with
+:func:`load_model`.
+"""
+
+from repro.cat.eval import CatModel, CatError, load_model, builtin_environment
+from repro.cat.parser import parse_cat
+
+__all__ = ["CatModel", "CatError", "load_model", "parse_cat", "builtin_environment"]

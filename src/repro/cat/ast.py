@@ -1,0 +1,157 @@
+"""Abstract syntax of the cat language subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class CatExpr:
+    """Base class of cat expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Id(CatExpr):
+    """A reference to a binding or builtin (``po``, ``rfe``, ``Acquire``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EmptyRel(CatExpr):
+    """The literal ``0`` — the empty relation."""
+
+
+@dataclass(frozen=True)
+class Union(CatExpr):
+    lhs: CatExpr
+    rhs: CatExpr
+
+
+@dataclass(frozen=True)
+class Inter(CatExpr):
+    lhs: CatExpr
+    rhs: CatExpr
+
+
+@dataclass(frozen=True)
+class Diff(CatExpr):
+    lhs: CatExpr
+    rhs: CatExpr
+
+
+@dataclass(frozen=True)
+class Seq(CatExpr):
+    lhs: CatExpr
+    rhs: CatExpr
+
+
+@dataclass(frozen=True)
+class Cartesian(CatExpr):
+    """``S * T`` over two event sets."""
+
+    lhs: CatExpr
+    rhs: CatExpr
+
+
+@dataclass(frozen=True)
+class Compl(CatExpr):
+    """``~e``."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class Inverse(CatExpr):
+    """``e^-1``."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class Opt(CatExpr):
+    """``e?`` — reflexive closure."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class Plus(CatExpr):
+    """``e+`` — transitive closure."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class Star(CatExpr):
+    """``e*`` — reflexive-transitive closure."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class SetId(CatExpr):
+    """``[S]`` — the identity relation on event set S."""
+
+    operand: CatExpr
+
+
+@dataclass(frozen=True)
+class App(CatExpr):
+    """Function application ``f(e1, e2, ...)``."""
+
+    func: str
+    args: Tuple[CatExpr, ...]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class CatStatement:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    """One binding: plain (``name = expr``) or functional
+    (``name(params) = expr``)."""
+
+    name: str
+    expr: CatExpr
+    params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Let(CatStatement):
+    """``let [rec] b1 and b2 and ...``."""
+
+    bindings: Tuple[LetBinding, ...]
+    recursive: bool = False
+
+
+@dataclass(frozen=True)
+class Check(CatStatement):
+    """``[flag] [~]acyclic|irreflexive|empty expr [as name]``."""
+
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    expr: CatExpr
+    name: Optional[str] = None
+    negated: bool = False
+    flag: bool = False
+
+
+@dataclass(frozen=True)
+class Include(CatStatement):
+    """``include "file.cat"``."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class CatFile:
+    """A parsed cat model: its name and statements."""
+
+    name: str
+    statements: Tuple[CatStatement, ...]

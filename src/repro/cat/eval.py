@@ -1,0 +1,368 @@
+"""Evaluation of cat models over candidate executions.
+
+Values in cat are event sets or binary relations; the evaluator is
+dynamically typed and dispatches each operator on the operand kinds, as
+herd does.  Recursive ``let rec`` groups are evaluated as simultaneous
+least fixpoints starting from empty relations — the cat operators used in
+recursive definitions are monotone, so iteration converges on finite
+executions.
+
+The builtin environment exposes:
+
+* the base relations ``po``, ``rf``, ``co``, ``addr``, ``data``, ``ctrl``,
+  ``rmw``, ``loc``, ``int``, ``ext``, ``id``;
+* the event sets ``_``, ``R``, ``W``, ``F``, ``M``, ``IW``;
+* one event set per annotation, capitalised (``Once``, ``Acquire``,
+  ``Release``, ``Rmb``, ``Wmb``, ``Mb``, ``Rb-dep``, ``Rcu-lock``,
+  ``Rcu-unlock``, ``Sync-rcu``, plus the architecture- and C11-level tags
+  used by the comparison models);
+* ``crit``, the outermost RCU lock/unlock matching (herd gets this from
+  the bell layer; see :mod:`repro.executions.derived`);
+* the builtin functions ``domain``, ``range``, and ``fencerel``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union as TUnion
+
+from repro.cat import ast as C
+from repro.cat.parser import CatParseError, parse_cat
+from repro.events import FENCE
+from repro.executions.candidate import CandidateExecution
+from repro.executions.derived import crit_relation
+from repro.model import AxiomViolation, Model, ModelResult
+from repro.relations import EventSet, Relation
+
+#: Directory holding the shipped .cat model files.
+MODELS_DIR = Path(__file__).parent / "models"
+
+
+class CatError(Exception):
+    """Raised for type or name errors during evaluation."""
+
+
+Value = TUnion[Relation, EventSet, "CatFunction"]
+
+
+class CatFunction:
+    """A user-defined cat function (e.g. ``A-cumul``)."""
+
+    def __init__(self, name, params, body, env):
+        self.name = name
+        self.params = params
+        self.body = body
+        self.env = env  # captured environment (lexical scoping)
+
+    def __call__(self, evaluator: "_Evaluator", args: List[Value]) -> Value:
+        if len(args) != len(self.params):
+            raise CatError(
+                f"{self.name} expects {len(self.params)} args, got {len(args)}"
+            )
+        inner = dict(self.env)
+        inner.update(zip(self.params, args))
+        return evaluator.eval(self.body, inner)
+
+
+#: Annotation name (as it appears in cat files) -> event tag.
+TAG_SETS: Dict[str, str] = {
+    # Linux-kernel tags (Tables 3 and 4).
+    "Once": "once",
+    "Acquire": "acquire",
+    "Release": "release",
+    "Rmb": "rmb",
+    "Wmb": "wmb",
+    "Mb": "mb",
+    "Rb-dep": "rb-dep",
+    "Rcu-lock": "rcu-lock",
+    "Rcu-unlock": "rcu-unlock",
+    "Sync-rcu": "sync-rcu",
+    "Plain": "plain",
+    "Noop": "noop",
+    # Architecture-level tags (repro.hardware.compile).
+    "Sync": "sync",
+    "Lwsync": "lwsync",
+    "Isync": "isync",
+    "Mfence": "mfence",
+    "Dmb": "dmb",
+    "Dmb-ld": "dmb-ld",
+    "Dmb-st": "dmb-st",
+    "Ldar": "ldar",
+    "Stlr": "stlr",
+    "Alpha-mb": "alpha-mb",
+    "Alpha-wmb": "alpha-wmb",
+    # C11 tags (the mapping of Section 5.2).
+    "RLX": "rlx",
+    "ACQ": "acq",
+    "REL": "rel",
+    "SC": "sc",
+    "F-acq": "f-acq",
+    "F-rel": "f-rel",
+    "F-sc": "f-sc",
+}
+
+
+def builtin_environment(execution: CandidateExecution) -> Dict[str, Value]:
+    """The initial cat environment for one execution."""
+    env: Dict[str, Value] = {
+        "po": execution.po,
+        "rf": execution.rf,
+        "co": execution.co,
+        "addr": execution.addr,
+        "data": execution.data,
+        "ctrl": execution.ctrl,
+        "rmw": execution.rmw,
+        "loc": execution.loc,
+        "int": execution.int_,
+        "ext": execution.ext,
+        "id": execution.identity,
+        "_": execution.all_events,
+        "R": execution.reads,
+        "W": execution.writes,
+        "F": execution.fences,
+        "M": execution.accesses,
+        "IW": execution.initial_writes,
+        "crit": crit_relation(execution),
+    }
+    for name, tag in TAG_SETS.items():
+        env[name] = execution.tagged(tag)
+    return env
+
+
+class _Evaluator:
+    """Evaluates cat expressions in an environment."""
+
+    def __init__(self, execution: CandidateExecution):
+        self.x = execution
+        self.universe = execution.universe
+
+    # -- helpers ---------------------------------------------------------
+
+    def _as_relation(self, value: Value, context: str) -> Relation:
+        if isinstance(value, Relation):
+            return value
+        if isinstance(value, EventSet):
+            # herd coerces sets to identity relations in relation position.
+            return value.identity()
+        raise CatError(f"{context}: expected a relation, got {type(value).__name__}")
+
+    def _as_set(self, value: Value, context: str) -> EventSet:
+        if isinstance(value, EventSet):
+            return value
+        raise CatError(f"{context}: expected an event set, got {type(value).__name__}")
+
+    # -- evaluation --------------------------------------------------------
+
+    def eval(self, expr: C.CatExpr, env: Dict[str, Value]) -> Value:
+        if isinstance(expr, C.Id):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise CatError(f"unbound identifier {expr.name!r}") from None
+        if isinstance(expr, C.EmptyRel):
+            return Relation((), self.universe)
+        if isinstance(expr, C.Union):
+            lhs = self.eval(expr.lhs, env)
+            rhs = self.eval(expr.rhs, env)
+            if isinstance(lhs, EventSet) and isinstance(rhs, EventSet):
+                return lhs | rhs
+            return self._as_relation(lhs, "|") | self._as_relation(rhs, "|")
+        if isinstance(expr, C.Inter):
+            lhs = self.eval(expr.lhs, env)
+            rhs = self.eval(expr.rhs, env)
+            if isinstance(lhs, EventSet) and isinstance(rhs, EventSet):
+                return lhs & rhs
+            return self._as_relation(lhs, "&") & self._as_relation(rhs, "&")
+        if isinstance(expr, C.Diff):
+            lhs = self.eval(expr.lhs, env)
+            rhs = self.eval(expr.rhs, env)
+            if isinstance(lhs, EventSet) and isinstance(rhs, EventSet):
+                return lhs - rhs
+            return self._as_relation(lhs, "\\") - self._as_relation(rhs, "\\")
+        if isinstance(expr, C.Seq):
+            lhs = self._as_relation(self.eval(expr.lhs, env), ";")
+            rhs = self._as_relation(self.eval(expr.rhs, env), ";")
+            return lhs.sequence(rhs)
+        if isinstance(expr, C.Cartesian):
+            lhs = self._as_set(self.eval(expr.lhs, env), "*")
+            rhs = self._as_set(self.eval(expr.rhs, env), "*")
+            return lhs.product(rhs)
+        if isinstance(expr, C.Compl):
+            value = self.eval(expr.operand, env)
+            if isinstance(value, EventSet):
+                return value.complement()
+            return self._as_relation(value, "~").complement()
+        if isinstance(expr, C.Inverse):
+            return self._as_relation(self.eval(expr.operand, env), "^-1").inverse()
+        if isinstance(expr, C.Opt):
+            return self._as_relation(self.eval(expr.operand, env), "?").optional()
+        if isinstance(expr, C.Plus):
+            return self._as_relation(
+                self.eval(expr.operand, env), "+"
+            ).transitive_closure()
+        if isinstance(expr, C.Star):
+            return self._as_relation(
+                self.eval(expr.operand, env), "*"
+            ).reflexive_transitive_closure()
+        if isinstance(expr, C.SetId):
+            return self._as_set(self.eval(expr.operand, env), "[]").identity()
+        if isinstance(expr, C.App):
+            return self._apply(expr, env)
+        raise CatError(f"unknown cat expression {expr!r}")
+
+    def _apply(self, expr: C.App, env: Dict[str, Value]) -> Value:
+        args = [self.eval(arg, env) for arg in expr.args]
+        if expr.func == "domain":
+            return self._as_relation(args[0], "domain").domain()
+        if expr.func == "range":
+            return self._as_relation(args[0], "range").range()
+        if expr.func == "fencerel":
+            # fencerel(S) = (po & (_ x S)) ; po — events separated by a
+            # fence in S.
+            fence_set = self._as_set(args[0], "fencerel")
+            x = self.x
+            before = x.po.restrict(range_=fence_set)
+            after = x.po.restrict(domain=fence_set)
+            return before.sequence(after)
+        func = env.get(expr.func)
+        if isinstance(func, CatFunction):
+            return func(self, args)
+        raise CatError(f"unknown function {expr.func!r}")
+
+
+class CatModel(Model):
+    """A consistency model defined by a cat file."""
+
+    def __init__(self, cat_file: C.CatFile, name: Optional[str] = None):
+        self.cat_file = cat_file
+        self.name = name or cat_file.name
+
+    @classmethod
+    def from_source(cls, source: str, name: Optional[str] = None) -> "CatModel":
+        return cls(parse_cat(source), name=name)
+
+    @classmethod
+    def from_path(cls, path, name: Optional[str] = None) -> "CatModel":
+        path = Path(path)
+        cat_file = parse_cat(path.read_text(), default_name=path.stem)
+        return cls(cat_file, name=name)
+
+    def check(self, execution: CandidateExecution) -> ModelResult:
+        evaluator = _Evaluator(execution)
+        env = builtin_environment(execution)
+        violations: List[AxiomViolation] = []
+        flags: List[AxiomViolation] = []
+        self._run(self.cat_file, evaluator, env, violations, flags)
+        result = ModelResult(allowed=not violations, violations=violations)
+        result.flags = flags  # informational, does not affect the verdict
+        return result
+
+    def _run(
+        self,
+        cat_file: C.CatFile,
+        evaluator: _Evaluator,
+        env: Dict[str, Value],
+        violations: List[AxiomViolation],
+        flags: List[AxiomViolation],
+    ) -> None:
+        for index, statement in enumerate(cat_file.statements):
+            if isinstance(statement, C.Include):
+                included = _load_cat_file(statement.path)
+                self._run(included, evaluator, env, violations, flags)
+            elif isinstance(statement, C.Let):
+                self._bind(statement, evaluator, env)
+            elif isinstance(statement, C.Check):
+                violation = self._check(statement, evaluator, env, index)
+                if violation is not None:
+                    (flags if statement.flag else violations).append(violation)
+            else:  # pragma: no cover - parser produces only the above
+                raise CatError(f"unknown statement {statement!r}")
+
+    def _bind(
+        self, let: C.Let, evaluator: _Evaluator, env: Dict[str, Value]
+    ) -> None:
+        if not let.recursive:
+            for binding in let.bindings:
+                if binding.params:
+                    env[binding.name] = CatFunction(
+                        binding.name, binding.params, binding.expr, env.copy()
+                    )
+                else:
+                    env[binding.name] = evaluator.eval(binding.expr, env)
+            return
+        # let rec: simultaneous least fixpoint from empty relations.
+        for binding in let.bindings:
+            if binding.params:
+                raise CatError("recursive cat functions are not supported")
+            env[binding.name] = Relation((), evaluator.universe)
+        while True:
+            changed = False
+            for binding in let.bindings:
+                new = evaluator._as_relation(
+                    evaluator.eval(binding.expr, env), f"let rec {binding.name}"
+                )
+                if new.pairs != evaluator._as_relation(
+                    env[binding.name], binding.name
+                ).pairs:
+                    env[binding.name] = new
+                    changed = True
+            if not changed:
+                return
+
+    def _check(
+        self,
+        check: C.Check,
+        evaluator: _Evaluator,
+        env: Dict[str, Value],
+        index: int,
+    ) -> Optional[AxiomViolation]:
+        name = check.name or f"{check.kind}-{index}"
+        value = evaluator.eval(check.expr, env)
+        if check.kind == "empty":
+            if isinstance(value, EventSet):
+                holds = value.is_empty()
+                witness = tuple((e, e) for e in value)
+            else:
+                relation = evaluator._as_relation(value, "empty")
+                holds = relation.is_empty()
+                witness = tuple(relation.pairs)
+            if check.negated:
+                holds = not holds
+                witness = ()
+            if holds:
+                return None
+            return AxiomViolation(name, "empty", witness)
+
+        relation = evaluator._as_relation(value, check.kind)
+        if check.kind == "acyclic":
+            cycle = relation.find_cycle()
+            holds = cycle is None
+            witness = tuple(cycle or ())
+        elif check.kind == "irreflexive":
+            reflexive = [a for a, b in relation.pairs if a == b]
+            holds = not reflexive
+            witness = tuple(reflexive[:1] * 2)
+        else:  # pragma: no cover
+            raise CatError(f"unknown check kind {check.kind!r}")
+        if check.negated:
+            holds = not holds
+            witness = ()
+        if holds:
+            return None
+        return AxiomViolation(name, check.kind, witness)
+
+
+def _load_cat_file(name: str) -> C.CatFile:
+    path = MODELS_DIR / name
+    if not path.exists():
+        raise CatError(f"included cat file {name!r} not found in {MODELS_DIR}")
+    return parse_cat(path.read_text(), default_name=path.stem)
+
+
+def load_model(name: str) -> CatModel:
+    """Load a shipped model by name (e.g. ``lkmm``, ``c11``, ``tso``)."""
+    path = MODELS_DIR / f"{name}.cat"
+    if not path.exists():
+        available = sorted(p.stem for p in MODELS_DIR.glob("*.cat"))
+        raise CatError(f"unknown model {name!r}; available: {available}")
+    return CatModel.from_path(path)

@@ -1,0 +1,281 @@
+"""Lexer and parser for the cat language subset.
+
+cat identifiers may contain hyphens and dots (``po-loc``, ``rcu-path``);
+since cat has no binary minus this is unambiguous.  Operator precedence,
+loosest first: ``|``, ``;``, ``\\``, ``&``, ``*`` (cartesian); unary ``~``
+and the postfix operators (``?``, ``+``, ``*``, ``^-1``) bind tightest.
+A ``*`` is read as cartesian product when the next token can start an
+expression, and as reflexive-transitive closure otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.cat.ast import (
+    App,
+    Cartesian,
+    CatExpr,
+    CatFile,
+    CatStatement,
+    Check,
+    Compl,
+    Diff,
+    EmptyRel,
+    Id,
+    Include,
+    Inter,
+    Inverse,
+    Let,
+    LetBinding,
+    Opt,
+    Plus,
+    Seq,
+    SetId,
+    Star,
+    Union,
+)
+
+
+class CatParseError(Exception):
+    """Raised on malformed cat input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\(\*.*?\*\)|//[^\n]*)
+  | (?P<string>"[^"]*")
+  | (?P<invop>\^-1)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<num>0)
+  | (?P<op>[|;&\\~?+*\[\]()=,])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_CHECK_KINDS = ("acyclic", "irreflexive", "empty")
+_KEYWORDS = {"let", "rec", "and", "as", "flag", "include"} | set(_CHECK_KINDS)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise CatParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.idx = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        i = self.idx + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise CatParseError("unexpected end of input")
+        self.idx += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise CatParseError(f"expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.idx += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.idx >= len(self.tokens)
+
+
+def parse_cat(text: str, default_name: str = "cat-model") -> CatFile:
+    """Parse a cat model from source text."""
+    cursor = _Cursor(_tokenize(text))
+    name = default_name
+    # Optional leading model name: a quoted string or a bare identifier
+    # that is not a keyword and is not followed by statement syntax.
+    first = cursor.peek()
+    if first is not None and first.startswith('"'):
+        name = cursor.next().strip('"')
+    elif (
+        first is not None
+        and first not in _KEYWORDS
+        and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.\-]*", first)
+        and cursor.peek(1) in (None, "let", "include", "flag", *_CHECK_KINDS, '"')
+    ):
+        name = cursor.next()
+
+    statements: List[CatStatement] = []
+    while not cursor.exhausted:
+        statements.append(_parse_statement(cursor))
+    return CatFile(name, tuple(statements))
+
+
+def _parse_statement(cursor: _Cursor) -> CatStatement:
+    token = cursor.peek()
+    if token == "include":
+        cursor.next()
+        path = cursor.next()
+        if not path.startswith('"'):
+            raise CatParseError(f"include expects a string, got {path!r}")
+        return Include(path.strip('"'))
+    if token == "let":
+        return _parse_let(cursor)
+    flag = cursor.accept("flag")
+    negated = cursor.accept("~")
+    kind = cursor.next()
+    if kind not in _CHECK_KINDS:
+        raise CatParseError(f"expected a check or let, got {kind!r}")
+    expr = _parse_expr(cursor)
+    name = None
+    if cursor.accept("as"):
+        name = cursor.next()
+    return Check(kind, expr, name, negated=negated, flag=flag)
+
+
+def _parse_let(cursor: _Cursor) -> Let:
+    cursor.expect("let")
+    recursive = cursor.accept("rec")
+    bindings = [_parse_binding(cursor)]
+    while cursor.accept("and"):
+        bindings.append(_parse_binding(cursor))
+    return Let(tuple(bindings), recursive=recursive)
+
+
+def _parse_binding(cursor: _Cursor) -> LetBinding:
+    name = cursor.next()
+    params: Tuple[str, ...] = ()
+    if cursor.accept("("):
+        names: List[str] = []
+        while not cursor.accept(")"):
+            names.append(cursor.next())
+            cursor.accept(",")
+        params = tuple(names)
+    cursor.expect("=")
+    return LetBinding(name, _parse_expr(cursor), params)
+
+
+# -- expressions -------------------------------------------------------------
+
+_PRIMARY_START = re.compile(r"[A-Za-z_(\[~]|0")
+
+
+def _starts_expression(token: Optional[str]) -> bool:
+    if token is None or token in _KEYWORDS:
+        return False
+    return _PRIMARY_START.match(token) is not None
+
+
+def _parse_expr(cursor: _Cursor) -> CatExpr:
+    return _parse_union(cursor)
+
+
+def _parse_union(cursor: _Cursor) -> CatExpr:
+    lhs = _parse_seq(cursor)
+    while cursor.accept("|"):
+        lhs = Union(lhs, _parse_seq(cursor))
+    return lhs
+
+
+def _parse_seq(cursor: _Cursor) -> CatExpr:
+    lhs = _parse_diff(cursor)
+    while cursor.accept(";"):
+        lhs = Seq(lhs, _parse_diff(cursor))
+    return lhs
+
+
+def _parse_diff(cursor: _Cursor) -> CatExpr:
+    lhs = _parse_inter(cursor)
+    while cursor.accept("\\"):
+        lhs = Diff(lhs, _parse_inter(cursor))
+    return lhs
+
+
+def _parse_inter(cursor: _Cursor) -> CatExpr:
+    lhs = _parse_cartesian(cursor)
+    while cursor.accept("&"):
+        lhs = Inter(lhs, _parse_cartesian(cursor))
+    return lhs
+
+
+def _parse_cartesian(cursor: _Cursor) -> CatExpr:
+    lhs = _parse_unary(cursor)
+    # "*" is cartesian product only when followed by the start of an
+    # expression; otherwise it was consumed as a postfix closure already.
+    while cursor.peek() == "*" and _starts_expression(cursor.peek(1)):
+        cursor.next()
+        lhs = Cartesian(lhs, _parse_unary(cursor))
+    return lhs
+
+
+def _parse_unary(cursor: _Cursor) -> CatExpr:
+    if cursor.accept("~"):
+        return Compl(_parse_unary(cursor))
+    return _parse_postfix(cursor)
+
+
+def _parse_postfix(cursor: _Cursor) -> CatExpr:
+    expr = _parse_primary(cursor)
+    while True:
+        token = cursor.peek()
+        if token == "?":
+            cursor.next()
+            expr = Opt(expr)
+        elif token == "+":
+            cursor.next()
+            expr = Plus(expr)
+        elif token == "^-1":
+            cursor.next()
+            expr = Inverse(expr)
+        elif token == "*" and not _starts_expression(cursor.peek(1)):
+            cursor.next()
+            expr = Star(expr)
+        else:
+            return expr
+
+
+def _parse_primary(cursor: _Cursor) -> CatExpr:
+    token = cursor.peek()
+    if token is None:
+        raise CatParseError("unexpected end of expression")
+    if token == "(":
+        cursor.next()
+        expr = _parse_expr(cursor)
+        cursor.expect(")")
+        return expr
+    if token == "[":
+        cursor.next()
+        expr = _parse_expr(cursor)
+        cursor.expect("]")
+        return SetId(expr)
+    if token == "0":
+        cursor.next()
+        return EmptyRel()
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.\-]*", token):
+        cursor.next()
+        if cursor.peek() == "(":
+            cursor.next()
+            args: List[CatExpr] = []
+            while not cursor.accept(")"):
+                args.append(_parse_expr(cursor))
+                cursor.accept(",")
+            return App(token, tuple(args))
+        return Id(token)
+    raise CatParseError(f"unexpected token {token!r} in expression")

@@ -1,0 +1,29 @@
+"""diy-style litmus-test generation (Section 5 of the paper).
+
+The paper "used the diy7 tool to systematically generate thousands of
+tests with cycles of edges (e.g., dependencies, reads-from, coherence) of
+increasing size".  This package reimplements that idea: a litmus test is
+synthesised from a *cycle of relaxation edges* — each edge is either a
+communication (``Rfe``, ``Fre``, ``Coe``, changing thread, staying on one
+location) or a program-order step (plain ``Pod*``, a dependency ``Dp*``,
+or a fence, changing location within one thread).  The generated test's
+``exists`` clause pins down exactly the execution exhibiting the cycle.
+"""
+
+from repro.diy.edges import Edge, EDGES, edge
+from repro.diy.generator import (
+    CycleError,
+    generate,
+    generate_cycles,
+    name_of_cycle,
+)
+
+__all__ = [
+    "Edge",
+    "EDGES",
+    "edge",
+    "CycleError",
+    "generate",
+    "generate_cycles",
+    "name_of_cycle",
+]

@@ -1,0 +1,113 @@
+"""The relaxation-edge vocabulary for cycle-based test generation.
+
+Every edge constrains the kinds of its endpoints (read or write) and says
+how it is realised: communication edges become reads-from / from-reads /
+coherence relationships between threads, program-order edges become code
+(possibly with a fence or a dependency) within one thread.  The names
+follow diy's conventions (``Pod`` = program order, different location;
+``Dp`` = dependency; fence edges by fence name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.events import READ, WRITE
+
+#: Kind wildcards for endpoint constraints.
+ANY = "_"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One relaxation edge.
+
+    Attributes:
+        name: diy-style name.
+        src: Required kind of the source node (``R``, ``W`` or ``_``).
+        tgt: Required kind of the target node.
+        external: True for communication edges (thread changes, location
+            stays); False for program-order edges (thread stays, location
+            changes).
+        comm: For external edges: ``rf``, ``fr`` or ``co``.
+        fence: LK fence tag to insert between the two accesses.
+        dep: Dependency carried by the edge: ``addr``, ``data`` or
+            ``ctrl`` (source must be a read).
+        src_annot / tgt_annot: Access annotation forced on an endpoint
+            (``acquire`` on a read, ``release`` on a write).
+    """
+
+    name: str
+    src: str
+    tgt: str
+    external: bool = False
+    comm: Optional[str] = None
+    fence: Optional[str] = None
+    dep: Optional[str] = None
+    src_annot: Optional[str] = None
+    tgt_annot: Optional[str] = None
+
+    def matches_src(self, kind: str) -> bool:
+        return self.src == ANY or self.src == kind
+
+    def matches_tgt(self, kind: str) -> bool:
+        return self.tgt == ANY or self.tgt == kind
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _mk(edges) -> Dict[str, Edge]:
+    return {e.name: e for e in edges}
+
+
+EDGES: Dict[str, Edge] = _mk(
+    [
+        # -- communication (external, same location) ----------------------
+        Edge("Rfe", WRITE, READ, external=True, comm="rf"),
+        Edge("Fre", READ, WRITE, external=True, comm="fr"),
+        Edge("Coe", WRITE, WRITE, external=True, comm="co"),
+        # -- plain program order (internal, different location) -----------
+        Edge("PodRR", READ, READ),
+        Edge("PodRW", READ, WRITE),
+        Edge("PodWR", WRITE, READ),
+        Edge("PodWW", WRITE, WRITE),
+        # -- fences ---------------------------------------------------------
+        Edge("MbdRR", READ, READ, fence="mb"),
+        Edge("MbdRW", READ, WRITE, fence="mb"),
+        Edge("MbdWR", WRITE, READ, fence="mb"),
+        Edge("MbdWW", WRITE, WRITE, fence="mb"),
+        Edge("WmbdWW", WRITE, WRITE, fence="wmb"),
+        Edge("RmbdRR", READ, READ, fence="rmb"),
+        Edge("RbDepdRR", READ, READ, fence="rb-dep"),
+        Edge("SyncdRR", READ, READ, fence="sync-rcu"),
+        Edge("SyncdRW", READ, WRITE, fence="sync-rcu"),
+        Edge("SyncdWR", WRITE, READ, fence="sync-rcu"),
+        Edge("SyncdWW", WRITE, WRITE, fence="sync-rcu"),
+        # -- dependencies (source must be a read) --------------------------
+        Edge("DpAddrdR", READ, READ, dep="addr"),
+        # Address dependency *plus* smp_read_barrier_depends: the
+        # combination that forms strong-rrdep (an rb-dep fence alone
+        # provides no ordering; it only restores dependency ordering).
+        Edge("DpAddrRbDepdR", READ, READ, dep="addr", fence="rb-dep"),
+        Edge("DpAddrdW", READ, WRITE, dep="addr"),
+        Edge("DpDatadW", READ, WRITE, dep="data"),
+        Edge("DpCtrldW", READ, WRITE, dep="ctrl"),
+        Edge("DpCtrldR", READ, READ, dep="ctrl"),
+        # -- acquire / release annotations ---------------------------------
+        Edge("AcqdR", READ, READ, src_annot="acquire"),
+        Edge("AcqdW", READ, WRITE, src_annot="acquire"),
+        Edge("ReldW", ANY, WRITE, tgt_annot="release"),
+    ]
+)
+
+
+def edge(name: str) -> Edge:
+    """Look up an edge by its diy-style name."""
+    try:
+        return EDGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown edge {name!r}; known: {sorted(EDGES)}"
+        ) from None

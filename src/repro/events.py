@@ -1,0 +1,194 @@
+"""Events of candidate executions.
+
+The paper (Section 2) models each executed Linux-kernel primitive as one or
+more *events*.  Reads (``R``) from a shared location, writes (``W``) to a
+shared location, and fences (``F``) each carry an *annotation* (called a
+*tag* here, following herd terminology) reflecting the primitive they came
+from: ``once`` or ``acquire`` for reads, ``once`` or ``release`` for writes,
+and ``rmb``, ``wmb``, ``mb``, ``rb-dep``, ``rcu-lock``, ``rcu-unlock`` or
+``sync-rcu`` for fences (Tables 3 and 4 of the paper).
+
+Architecture-level events produced by :mod:`repro.hardware.compile` reuse
+this class with architecture-specific tags (e.g. ``sync``, ``lwsync``,
+``dmb``), as do C11 events (``relaxed``, ``rel``, ``acq``, ``sc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: Event kinds.
+READ = "R"
+WRITE = "W"
+FENCE = "F"
+
+#: Tags used by the Linux-kernel model (Tables 3 and 4).
+ONCE = "once"
+ACQUIRE = "acquire"
+RELEASE = "release"
+RMB = "rmb"
+WMB = "wmb"
+MB = "mb"
+RB_DEP = "rb-dep"
+RCU_LOCK = "rcu-lock"
+RCU_UNLOCK = "rcu-unlock"
+SYNC_RCU = "sync-rcu"
+#: Tag used for plain (non-ONCE) accesses, e.g. on architectures where the
+#: compiled code uses ordinary loads and stores.
+PLAIN = "plain"
+#: Tag used for a no-op fence (a fence primitive compiled away).
+NOOP = "noop"
+
+LK_READ_TAGS = frozenset({ONCE, ACQUIRE})
+LK_WRITE_TAGS = frozenset({ONCE, RELEASE})
+LK_FENCE_TAGS = frozenset({RMB, WMB, MB, RB_DEP, RCU_LOCK, RCU_UNLOCK, SYNC_RCU})
+
+#: Thread id used for the implicit initialising writes.
+INIT_TID = -1
+
+
+@dataclass(frozen=True, order=True)
+class Pointer:
+    """A pointer value ``&loc``.
+
+    Shared locations can hold pointers to other shared locations, which is
+    how address dependencies arise (e.g. ``MP+wmb+addr-acq``, Figure 9 of
+    the paper): a read returns a :class:`Pointer` and a later access
+    dereferences it.
+    """
+
+    loc: str
+
+    def __repr__(self) -> str:
+        return f"&{self.loc}"
+
+
+#: Runtime values held in shared locations and registers.
+Value = Union[int, Pointer]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A node of a candidate execution graph.
+
+    Attributes:
+        eid: Globally unique id within one candidate execution.
+        tid: Issuing thread, or :data:`INIT_TID` for initialising writes.
+        po_index: Position within the thread's program order.
+        kind: :data:`READ`, :data:`WRITE`, or :data:`FENCE`.
+        tag: The annotation (``once``, ``acquire``, ``mb``, ...).
+        loc: Accessed shared location, or ``None`` for fences.
+        value: Value written (for writes) or read (for reads, fixed once the
+            reads-from relation is chosen); ``None`` for fences.
+        label: Short display name (``a``, ``b``, ...) used when
+            pretty-printing executions, mirroring the paper's figures.
+        extra_tags: Additional tags (e.g. a read that is both ``once`` and
+            part of an RMW is tagged with ``rmw`` here).
+    """
+
+    eid: int
+    tid: int
+    po_index: int
+    kind: str
+    tag: str
+    loc: Optional[str] = None
+    value: Optional[Value] = None
+    label: str = ""
+    extra_tags: Tuple[str, ...] = field(default=())
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == FENCE
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.kind in (READ, WRITE)
+
+    @property
+    def is_init(self) -> bool:
+        return self.tid == INIT_TID
+
+    def has_tag(self, tag: str) -> bool:
+        return self.tag == tag or tag in self.extra_tags
+
+    def with_value(self, value: Value) -> "Event":
+        """Return a copy of this event carrying ``value``."""
+        return Event(
+            eid=self.eid,
+            tid=self.tid,
+            po_index=self.po_index,
+            kind=self.kind,
+            tag=self.tag,
+            loc=self.loc,
+            value=value,
+            label=self.label,
+            extra_tags=self.extra_tags,
+        )
+
+    def __repr__(self) -> str:
+        name = self.label or f"e{self.eid}"
+        if self.is_fence:
+            return f"{name}:F[{self.tag}]"
+        where = self.loc if self.loc is not None else "?"
+        return f"{name}:{self.kind}[{self.tag}]{where}={self.value!r}"
+
+    # Events are identified by eid within an execution; hashing on eid keeps
+    # relation operations cheap and lets `with_value` copies stay distinct.
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash(self.eid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.eid == other.eid
+
+
+def fresh_labels(events) -> None:
+    """Assign ``a``, ``b``, ... labels to memory accesses in (tid, po) order.
+
+    Fences keep empty labels, matching the paper's figures where only
+    accesses are named.  Mutation is impossible on frozen dataclasses, so
+    this returns a list of relabelled events instead.
+    """
+    ordered = sorted(events, key=lambda e: (e.tid, e.po_index, e.eid))
+    out = []
+    next_label = 0
+    for event in ordered:
+        if event.is_memory_access and not event.is_init:
+            label = _index_to_label(next_label)
+            next_label += 1
+            out.append(
+                Event(
+                    eid=event.eid,
+                    tid=event.tid,
+                    po_index=event.po_index,
+                    kind=event.kind,
+                    tag=event.tag,
+                    loc=event.loc,
+                    value=event.value,
+                    label=label,
+                    extra_tags=event.extra_tags,
+                )
+            )
+        else:
+            out.append(event)
+    return out
+
+
+def _index_to_label(index: int) -> str:
+    """0 -> 'a', 25 -> 'z', 26 -> 'aa', ..."""
+    label = ""
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, 26)
+        label = chr(ord("a") + rem) + label
+    return label

@@ -1,0 +1,37 @@
+"""Candidate executions: the graphs the models judge (Section 2).
+
+A *candidate execution* pairs an abstract execution
+``(E, po, addr, data, ctrl, rmw)`` — the per-thread semantics — with an
+execution witness ``(rf, co)`` — the inter-thread communications.  This
+package enumerates every candidate execution of a litmus test:
+
+* :mod:`repro.executions.thread_sem` evaluates one thread into its possible
+  event traces, tracking address/data/control dependencies by taint;
+* :mod:`repro.executions.candidate` defines :class:`CandidateExecution`;
+* :mod:`repro.executions.enumerate` combines thread traces with all
+  reads-from assignments and coherence orders.
+"""
+
+from repro.executions.candidate import CandidateExecution
+from repro.executions.enumerate import (
+    candidate_executions,
+    count_candidate_executions,
+)
+from repro.executions.thread_sem import (
+    ThreadTrace,
+    ProtoEvent,
+    enumerate_thread_traces,
+    possible_value_sets,
+    SemanticsError,
+)
+
+__all__ = [
+    "CandidateExecution",
+    "candidate_executions",
+    "count_candidate_executions",
+    "ThreadTrace",
+    "ProtoEvent",
+    "enumerate_thread_traces",
+    "possible_value_sets",
+    "SemanticsError",
+]

@@ -1,0 +1,38 @@
+"""Derived helper relations shared by the native models and the cat layer.
+
+The paper omits the definition of ``crit`` ("we omit its definition for
+brevity", Section 4.2); in herd it comes from the bell layer.  We compute
+it directly: ``crit`` connects each *outermost* ``rcu_read_lock`` event to
+its matching ``rcu_read_unlock``, tracking nesting depth per thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import Event, RCU_LOCK, RCU_UNLOCK
+from repro.executions.candidate import CandidateExecution
+from repro.relations import Relation
+
+
+def crit_relation(execution: CandidateExecution) -> Relation:
+    """Outermost lock -> matching unlock pairs (the paper's ``crit``)."""
+    pairs: List[Tuple[Event, Event]] = []
+    by_tid: Dict[int, List[Event]] = {}
+    for event in execution.events:
+        by_tid.setdefault(event.tid, []).append(event)
+    for events in by_tid.values():
+        events.sort(key=lambda e: e.po_index)
+        depth = 0
+        outermost: Optional[Event] = None
+        for event in events:
+            if event.has_tag(RCU_LOCK):
+                if depth == 0:
+                    outermost = event
+                depth += 1
+            elif event.has_tag(RCU_UNLOCK):
+                depth -= 1
+                if depth == 0 and outermost is not None:
+                    pairs.append((outermost, event))
+                    outermost = None
+    return Relation(pairs, execution.universe)

@@ -1,0 +1,191 @@
+"""Enumeration of all candidate executions of a litmus test.
+
+The enumeration follows herd's structure:
+
+1. compute per-location *possible value sets* (a fixpoint seeded with the
+   initial values — :func:`repro.executions.thread_sem.possible_value_sets`);
+2. enumerate every *trace* of every thread (each trace fixes the values its
+   reads return and therefore its control-flow path);
+3. for each combination of traces, enumerate every *reads-from* assignment
+   (each read is mapped to a same-location write of the value it chose,
+   including the implicit initialising writes) and every *coherence order*
+   (a permutation of the non-initial writes per location, after the
+   initialising write);
+4. each combination yields one :class:`CandidateExecution`.
+
+Reads whose chosen value is written nowhere have no rf source and are
+pruned, which also discards the spurious values the fixpoint of step 1 may
+over-approximate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.events import Event, FENCE, INIT_TID, ONCE, READ, WRITE, _index_to_label
+from repro.litmus.ast import Program
+from repro.relations import Relation, relation_from_order
+from repro.executions.candidate import CandidateExecution
+from repro.executions.thread_sem import (
+    ProtoEvent,
+    ThreadTrace,
+    enumerate_thread_traces,
+    possible_value_sets,
+)
+
+
+def candidate_executions(
+    program: Program,
+    require_sc_per_location: bool = False,
+) -> Iterator[CandidateExecution]:
+    """Yield every candidate execution of ``program``.
+
+    When ``require_sc_per_location`` is true, executions violating
+    ``acyclic(po-loc | com)`` are filtered out during enumeration.  All the
+    models shipped with this package include that axiom, so the filter
+    never changes a verdict but dramatically shrinks the search space for
+    the larger programs (e.g. the inlined RCU implementation of Section 6).
+    """
+    value_sets = possible_value_sets(program)
+    per_thread: List[List[ThreadTrace]] = [
+        enumerate_thread_traces(thread, value_sets) for thread in program.threads
+    ]
+    locations = program.locations()
+
+    for traces in itertools.product(*per_thread):
+        yield from _executions_of_traces(
+            program, locations, traces, require_sc_per_location
+        )
+
+
+def count_candidate_executions(program: Program, **kwargs) -> int:
+    """The number of candidate executions (mostly for tests and reports)."""
+    return sum(1 for _ in candidate_executions(program, **kwargs))
+
+
+def _executions_of_traces(
+    program: Program,
+    locations: List[str],
+    traces: Tuple[ThreadTrace, ...],
+    require_sc_per_location: bool,
+) -> Iterator[CandidateExecution]:
+    events: List[Event] = []
+    eid = 0
+    label_counter = 0
+
+    # Implicit initialising writes, one per location.
+    init_writes: Dict[str, Event] = {}
+    for po_index, location in enumerate(locations):
+        event = Event(
+            eid=eid,
+            tid=INIT_TID,
+            po_index=po_index,
+            kind=WRITE,
+            tag=ONCE,
+            loc=location,
+            value=program.initial_value(location),
+            label=f"i{location}",
+        )
+        init_writes[location] = event
+        events.append(event)
+        eid += 1
+
+    # Thread events, with trace-local indices mapped to global events.
+    po_pairs: List[Tuple[Event, Event]] = []
+    addr_pairs: List[Tuple[Event, Event]] = []
+    data_pairs: List[Tuple[Event, Event]] = []
+    ctrl_pairs: List[Tuple[Event, Event]] = []
+    rmw_pairs: List[Tuple[Event, Event]] = []
+    final_regs: Dict[Tuple[int, str], object] = {}
+
+    for tid, trace in enumerate(traces):
+        local: List[Event] = []
+        for po_index, proto in enumerate(trace.events):
+            label = ""
+            if proto.kind != FENCE:
+                label = _index_to_label(label_counter)
+                label_counter += 1
+            event = Event(
+                eid=eid,
+                tid=tid,
+                po_index=po_index,
+                kind=proto.kind,
+                tag=proto.tag,
+                loc=proto.loc,
+                value=proto.value,
+                label=label,
+            )
+            eid += 1
+            local.append(event)
+            events.append(event)
+        for i, a in enumerate(local):
+            for b in local[i + 1:]:
+                po_pairs.append((a, b))
+        for index, proto in enumerate(trace.events):
+            target = local[index]
+            for read_index in proto.addr_deps:
+                addr_pairs.append((local[read_index], target))
+            for read_index in proto.data_deps:
+                data_pairs.append((local[read_index], target))
+            for read_index in proto.ctrl_deps:
+                ctrl_pairs.append((local[read_index], target))
+        for read_index, write_index in trace.rmw_pairs:
+            rmw_pairs.append((local[read_index], local[write_index]))
+        for reg, value in trace.final_regs.items():
+            final_regs[(tid, reg)] = value
+
+    universe = frozenset(events)
+    po = Relation(po_pairs, universe)
+    addr = Relation(addr_pairs, universe)
+    data = Relation(data_pairs, universe)
+    ctrl = Relation(ctrl_pairs, universe)
+    rmw = Relation(rmw_pairs, universe)
+
+    # Reads-from candidates.
+    reads = [e for e in events if e.kind == READ]
+    writes_by_loc: Dict[str, List[Event]] = {}
+    for event in events:
+        if event.kind == WRITE:
+            writes_by_loc.setdefault(event.loc, []).append(event)
+
+    rf_candidates: List[List[Event]] = []
+    for read in reads:
+        sources = [
+            w
+            for w in writes_by_loc.get(read.loc, [])
+            if w.value == read.value and w is not read
+        ]
+        if not sources:
+            return  # this trace combination chose an unwritable value
+        rf_candidates.append(sources)
+
+    # Coherence candidates: per location, init write first, then any
+    # permutation of the remaining writes.
+    co_orders_per_loc: List[List[List[Event]]] = []
+    for location in locations:
+        non_init = [
+            w for w in writes_by_loc.get(location, []) if not w.is_init
+        ]
+        init = init_writes[location]
+        orders = [
+            [init] + list(perm) for perm in itertools.permutations(non_init)
+        ]
+        co_orders_per_loc.append(orders)
+
+    for rf_choice in itertools.product(*rf_candidates):
+        rf = Relation(zip(rf_choice, reads), universe)
+        for co_combo in itertools.product(*co_orders_per_loc):
+            co_pairs: List[Tuple[Event, Event]] = []
+            for order in co_combo:
+                co_pairs.extend(relation_from_order(order, universe).pairs)
+            co = Relation(co_pairs, universe)
+            execution = CandidateExecution(
+                events, po, addr, data, ctrl, rmw, rf, co,
+                final_regs=final_regs, name=program.name,
+            )
+            if require_sc_per_location and not (
+                execution.po_loc | execution.com
+            ).is_acyclic():
+                continue
+            yield execution

@@ -1,0 +1,40 @@
+"""Hardware substrate: the paper's Section 5.1 experiments, simulated.
+
+The paper runs litmus tests as kernel modules (klitmus) on Power8, ARMv8,
+ARMv7 and x86 machines.  Lacking that hardware, this package provides the
+substitution documented in DESIGN.md:
+
+* :mod:`repro.hardware.archspec` — per-architecture definitions: how the
+  kernel's primitives compile to machine-level accesses and fences (what
+  ``asm/barrier.h`` does), and the architecture's operational reordering
+  rules;
+* :mod:`repro.hardware.compile` — the LK -> architecture program compiler;
+* axiomatic architecture models in ``repro/cat/models/{tso,power,armv8,
+  armv7,alpha,sc}.cat`` — answering "may this outcome ever happen";
+* :mod:`repro.hardware.opsim` — an *operational* simulator (out-of-order
+  execution windows + store buffers + RCU grace periods) that runs a test
+  many times under a randomised scheduler, like klitmus does;
+* :mod:`repro.hardware.klitmus` — the run-many-times harness producing the
+  ``observed/runs`` counts of Table 5.
+"""
+
+from repro.hardware.archspec import ARCHITECTURES, ArchSpec, get_arch
+from repro.hardware.compile import compile_program, CompileError
+from repro.hardware.opsim import OperationalSimulator, RunTrace, SimulationError
+from repro.hardware.klitmus import KlitmusResult, run_klitmus
+from repro.hardware.trace import build_execution, sample_executions
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchSpec",
+    "get_arch",
+    "compile_program",
+    "CompileError",
+    "OperationalSimulator",
+    "RunTrace",
+    "SimulationError",
+    "KlitmusResult",
+    "run_klitmus",
+    "build_execution",
+    "sample_executions",
+]

@@ -1,0 +1,189 @@
+"""Compiling LK litmus tests to architecture-level programs.
+
+This plays the role of the kernel's per-architecture headers: each LK
+primitive becomes the machine-level access/fence sequence the kernel
+actually emits on that architecture (see :mod:`repro.hardware.archspec`).
+The result is an ordinary :class:`~repro.litmus.ast.Program` whose events
+carry machine tags, ready to be judged by the axiomatic architecture
+models or executed by the operational simulator.
+
+RCU primitives have no machine-level equivalent (klitmus links against the
+kernel's RCU); by default they are kept as-is — the operational simulator
+implements grace-period semantics natively — but ``rcu="error"`` makes
+compilation fail instead, which the axiomatic-model experiments use to
+skip RCU tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.events import (
+    ACQUIRE,
+    MB,
+    ONCE,
+    RB_DEP,
+    RCU_LOCK,
+    RCU_UNLOCK,
+    RELEASE,
+    RMB,
+    SYNC_RCU,
+    WMB,
+)
+from repro.hardware.archspec import ArchSpec, PLAIN
+from repro.litmus.ast import (
+    CmpXchg,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    Program,
+    Rmw,
+    Store,
+    Thread,
+)
+
+_RCU_TAGS = (RCU_LOCK, RCU_UNLOCK, SYNC_RCU)
+_LK_FENCE_TAGS = (MB, RMB, WMB, RB_DEP)
+
+
+class CompileError(Exception):
+    """Raised when a primitive cannot be compiled for the target."""
+
+
+def compile_program(program: Program, arch: ArchSpec, rcu: str = "keep") -> Program:
+    """Compile ``program`` for ``arch``.
+
+    ``rcu`` is ``"keep"`` (RCU events pass through, for the operational
+    simulator) or ``"error"`` (raise :class:`CompileError` on RCU
+    primitives, for the axiomatic architecture models).
+    """
+    if rcu not in ("keep", "error"):
+        raise ValueError(f"rcu must be 'keep' or 'error', not {rcu!r}")
+    threads = tuple(
+        Thread(tuple(_compile_body(thread.body, arch, rcu)))
+        for thread in program.threads
+    )
+    return Program(
+        name=f"{program.name}@{arch.name}",
+        threads=threads,
+        init=dict(program.init),
+        condition=program.condition,
+    )
+
+
+def _fences(tags: Iterable[str]) -> List[Instruction]:
+    return [Fence(tag) for tag in tags]
+
+
+def _compile_body(
+    body: Sequence[Instruction], arch: ArchSpec, rcu: str
+) -> List[Instruction]:
+    out: List[Instruction] = []
+    for ins in body:
+        out.extend(_compile_instruction(ins, arch, rcu))
+    return out
+
+
+def _compile_instruction(
+    ins: Instruction, arch: ArchSpec, rcu: str
+) -> List[Instruction]:
+    if isinstance(ins, LocalAssign):
+        return [ins]
+
+    if isinstance(ins, Fence):
+        if ins.tag in _RCU_TAGS:
+            if rcu == "error":
+                raise CompileError(
+                    f"RCU primitive F[{ins.tag}] has no machine-level "
+                    f"equivalent on {arch.name}"
+                )
+            return [ins]
+        if ins.tag in _LK_FENCE_TAGS:
+            return _fences(arch.fence_map.get(ins.tag, ()))
+        raise CompileError(f"unknown fence tag {ins.tag!r}")
+
+    if isinstance(ins, Load):
+        after: List[Instruction] = []
+        if ins.rb_dep:
+            after = _fences(arch.fence_map.get(RB_DEP, ()))
+        if ins.tag == ACQUIRE:
+            tag, before_tags, after_tags = arch.acquire_load
+            return (
+                _fences(before_tags)
+                + [Load(ins.reg, ins.addr, tag)]
+                + _fences(after_tags)
+                + after
+            )
+        if ins.tag in (ONCE, PLAIN):
+            return [Load(ins.reg, ins.addr, PLAIN)] + after
+        raise CompileError(f"unknown load tag {ins.tag!r}")
+
+    if isinstance(ins, Store):
+        if ins.tag == RELEASE:
+            tag, before_tags, after_tags = arch.release_store
+            return (
+                _fences(before_tags)
+                + [Store(ins.addr, ins.value, tag)]
+                + _fences(after_tags)
+            )
+        if ins.tag in (ONCE, PLAIN):
+            return [Store(ins.addr, ins.value, PLAIN)]
+        raise CompileError(f"unknown store tag {ins.tag!r}")
+
+    if isinstance(ins, Rmw):
+        return _compile_rmw(ins, arch)
+
+    if isinstance(ins, CmpXchg):
+        # Approximation: the bracketing fences are emitted unconditionally
+        # rather than only on success — strictly stronger, hence sound.
+        before, after = _rmw_fences(ins.variant, arch)
+        return (
+            _fences(before)
+            + [
+                CmpXchg(
+                    ins.reg, ins.addr, ins.expected, ins.new_value,
+                    "xchg_relaxed",
+                )
+            ]
+            + _fences(after)
+        )
+
+    if isinstance(ins, If):
+        return [
+            If(
+                ins.cond,
+                tuple(_compile_body(ins.then, arch, rcu)),
+                tuple(_compile_body(ins.orelse, arch, rcu)),
+            )
+        ]
+
+    raise CompileError(f"cannot compile {ins!r}")
+
+
+def _rmw_fences(variant: str, arch: ArchSpec) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    if variant == "xchg":
+        return arch.rmw_full_fences
+    if variant == "xchg_acquire":
+        return ((), arch.acquire_rmw_fences())
+    if variant == "xchg_release":
+        return (arch.release_rmw_fences(), ())
+    return ((), ())
+
+
+def _compile_rmw(ins: Rmw, arch: ArchSpec) -> List[Instruction]:
+    before, after = _rmw_fences(ins.variant, arch)
+    return (
+        _fences(before)
+        + [
+            Rmw(
+                ins.reg,
+                ins.addr,
+                ins.new_value,
+                "xchg_relaxed",
+                require_read_value=ins.require_read_value,
+            )
+        ]
+        + _fences(after)
+    )

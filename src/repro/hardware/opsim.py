@@ -1,0 +1,652 @@
+"""An operational weak-memory simulator — the klitmus substitute.
+
+The paper runs each litmus test billions of times as a kernel module and
+histograms the final states (Section 5.1).  This simulator plays that
+role: it *executes* an architecture-level program (produced by
+:mod:`repro.hardware.compile`) under a randomised scheduler, with the
+machinery that makes real hardware weak:
+
+* a per-thread **store buffer**: a store becomes visible to its own thread
+  immediately (forwarding) but to others only when the buffer drains —
+  this alone yields TSO behaviours (SB) on x86;
+* an **out-of-order window** (weak architectures only): an instruction may
+  complete before earlier ones, unless an architecture rule, a fence, a
+  same-location access, or a register dependency (address/data) forbids
+  it; stores and everything else wait for unresolved branches (no
+  speculative stores), which is why control dependencies order R -> W;
+* native **RCU grace periods**: ``synchronize_rcu`` snapshots the threads
+  currently inside a read-side critical section and cannot complete until
+  each of them has left it, exactly the "wait for pre-existing readers"
+  behaviour of the kernel's implementation.
+
+The simulator is deliberately *at least as strong* as the corresponding
+axiomatic model (e.g. it is multicopy atomic and never reorders dependent
+loads, unlike the Alpha model): every outcome it can produce is allowed by
+the architecture model, mirroring the paper's situation where "the
+machines are stronger than required by our model".
+
+Beyond final states, every run records a full *trace* — which write each
+read observed (rf), the order writes reached memory (co), and the
+dependency taints — from which :mod:`repro.hardware.trace` rebuilds a
+:class:`~repro.executions.candidate.CandidateExecution`, enabling
+execution-level (not merely state-level) validation against the axiomatic
+models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.events import (
+    Pointer,
+    RCU_LOCK,
+    RCU_UNLOCK,
+    SYNC_RCU,
+    Value,
+)
+from repro.hardware.archspec import ArchSpec
+from repro.litmus.ast import (
+    BinOp,
+    CmpXchg,
+    Const,
+    Expr,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    Program,
+    Reg,
+    Rmw,
+    Store,
+    UnOp,
+)
+from repro.litmus.outcomes import FinalState
+
+_LK_SPECIALS = (RCU_LOCK, RCU_UNLOCK, SYNC_RCU)
+
+_NO_TAINTS: FrozenSet[int] = frozenset()
+
+
+class SimulationError(Exception):
+    """Raised when the simulator cannot make progress (deadlock)."""
+
+
+@dataclass
+class TraceEvent:
+    """One recorded dynamic event (access or fence) of a run."""
+
+    event_id: int
+    tid: int
+    po_index: int
+    kind: str  # "R" | "W" | "F"
+    tag: str
+    loc: Optional[str] = None
+    value: Optional[Value] = None
+    addr_taints: FrozenSet[int] = _NO_TAINTS
+    data_taints: FrozenSet[int] = _NO_TAINTS
+    ctrl_taints: FrozenSet[int] = _NO_TAINTS
+
+
+@dataclass
+class RunTrace:
+    """The full record of one run: events, rf, co, rmw pairs."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    #: read event id -> write event id it observed.
+    rf: Dict[int, int] = field(default_factory=dict)
+    #: location -> write event ids in the order they reached memory
+    #: (initialising write first).
+    co_order: Dict[str, List[int]] = field(default_factory=dict)
+    #: (read id, write id) pairs of read-modify-writes.
+    rmw_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    #: location -> id of its initialising write.
+    init_ids: Dict[str, int] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def new_id(self) -> int:
+        event_id = self._next_id
+        self._next_id += 1
+        return event_id
+
+
+@dataclass
+class _PendingSync:
+    """An in-flight synchronize_rcu: waits for the snapshotted readers."""
+
+    thread: int
+    waiting_for: Set[int]
+
+
+class _ThreadState:
+    """Runtime state of one simulated thread."""
+
+    def __init__(self, tid: int, body: Sequence[Instruction]):
+        self.tid = tid
+        #: Flattened instruction stream; grows as branches resolve.
+        self.stream: List[Instruction] = list(body)
+        #: Indices of completed instructions.
+        self.done: Set[int] = set()
+        #: First index that is not yet complete.
+        self.head = 0
+        self.regs: Dict[str, Value] = {}
+        #: Register -> ids of the dynamic reads its value derives from.
+        self.taints: Dict[str, FrozenSet[int]] = {}
+        #: Reads controlling every instruction from here on (resolved
+        #: branches' condition taints).
+        self.ctrl: FrozenSet[int] = _NO_TAINTS
+        #: FIFO store buffer of (location, value, write event id).
+        self.buffer: List[Tuple[str, Value, int]] = []
+        self.rcu_depth = 0
+
+    def advance_head(self) -> None:
+        while self.head < len(self.stream) and self.head in self.done:
+            self.head += 1
+
+    @property
+    def finished(self) -> bool:
+        self.advance_head()
+        return self.head >= len(self.stream) and not self.buffer
+
+
+class _Memory:
+    """Shared memory with write provenance."""
+
+    def __init__(self, program: Program, trace: RunTrace):
+        self.values: Dict[str, Value] = {}
+        self.writer: Dict[str, int] = {}
+        self.trace = trace
+        for loc in program.locations():
+            value = program.initial_value(loc)
+            init_id = trace.new_id()
+            trace.init_ids[loc] = init_id
+            trace.events.append(
+                TraceEvent(init_id, -1, len(trace.init_ids) - 1, "W", "once", loc, value)
+            )
+            trace.co_order.setdefault(loc, []).append(init_id)
+            self.values[loc] = value
+            self.writer[loc] = init_id
+
+    def commit(self, loc: str, value: Value, write_id: int) -> None:
+        self.values[loc] = value
+        self.writer[loc] = write_id
+        self.trace.co_order.setdefault(loc, []).append(write_id)
+
+
+class OperationalSimulator:
+    """Runs one architecture-level program to completion, many times."""
+
+    def __init__(self, program: Program, arch: ArchSpec):
+        self.program = program
+        self.arch = arch
+
+    # -- public API ------------------------------------------------------
+
+    def run_once(self, rng: random.Random) -> FinalState:
+        """One complete run under a random schedule; returns the final
+        state (registers and memory)."""
+        return self.run_once_traced(rng)[0]
+
+    def run_once_traced(
+        self, rng: random.Random
+    ) -> Tuple[FinalState, RunTrace]:
+        """One complete run; returns the final state and the full trace."""
+        trace = RunTrace()
+        memory = _Memory(self.program, trace)
+        threads = [
+            _ThreadState(tid, thread.body)
+            for tid, thread in enumerate(self.program.threads)
+        ]
+        syncs: List[_PendingSync] = []
+
+        while True:
+            actions = self._eligible_actions(threads, memory, syncs)
+            if not actions:
+                if all(t.finished for t in threads) and not syncs:
+                    break
+                raise SimulationError(
+                    f"no eligible action in {self.program.name} "
+                    f"(deadlock at heads "
+                    f"{[(t.tid, t.head) for t in threads]})"
+                )
+            kind, tid, index = actions[rng.randrange(len(actions))]
+            thread = threads[tid]
+            if kind == "drain":
+                loc, value, write_id = thread.buffer.pop(0)
+                memory.commit(loc, value, write_id)
+            elif kind == "sync-done":
+                syncs[:] = [s for s in syncs if s.thread != tid]
+                thread.done.add(index)
+            else:
+                self._execute(thread, index, memory, threads, syncs, trace)
+
+        registers = {
+            (t.tid, name): value
+            for t in threads
+            for name, value in t.regs.items()
+        }
+        return FinalState(registers, memory.values), trace
+
+    def sample(self, runs: int, seed: int = 0) -> Dict[FinalState, int]:
+        """Run ``runs`` times; histogram of final states."""
+        rng = random.Random(seed)
+        histogram: Dict[FinalState, int] = {}
+        for _ in range(runs):
+            state = self.run_once(rng)
+            histogram[state] = histogram.get(state, 0) + 1
+        return histogram
+
+    # -- scheduling -------------------------------------------------------
+
+    def _eligible_actions(
+        self,
+        threads: List[_ThreadState],
+        memory: _Memory,
+        syncs: List[_PendingSync],
+    ) -> List[Tuple[str, int, int]]:
+        actions: List[Tuple[str, int, int]] = []
+        for thread in threads:
+            if thread.buffer:
+                actions.append(("drain", thread.tid, -1))
+            thread.advance_head()
+            window = self.arch.window if self.arch.out_of_order else 1
+            limit = min(len(thread.stream), thread.head + window)
+            for index in range(thread.head, limit):
+                if index in thread.done:
+                    continue
+                ins = thread.stream[index]
+                if not self._may_start(thread, index, ins, memory, syncs):
+                    # An unresolved branch or blocking fence also stops
+                    # anything later from being considered.
+                    if self._blocks_window(ins):
+                        break
+                    continue
+                actions.append(("execute", thread.tid, index))
+                if self._blocks_window(ins):
+                    break
+        for sync in syncs:
+            if not any(
+                threads[tid].rcu_depth > 0 for tid in sync.waiting_for
+            ):
+                # All snapshotted readers have left their RSCS.
+                thread = threads[sync.thread]
+                index = next(
+                    i
+                    for i in range(thread.head, len(thread.stream))
+                    if i not in thread.done
+                    and isinstance(thread.stream[i], Fence)
+                    and thread.stream[i].tag == SYNC_RCU
+                )
+                actions.append(("sync-done", sync.thread, index))
+        return actions
+
+    def _blocks_window(self, ins: Instruction) -> bool:
+        """Instructions nothing may be reordered past (in fetch order)."""
+        if isinstance(ins, If):
+            return True  # no speculation past unresolved branches
+        if isinstance(ins, (Rmw, CmpXchg)):
+            return True
+        if isinstance(ins, Fence) and ins.tag in _LK_SPECIALS:
+            return True
+        return False
+
+    def _may_start(
+        self,
+        thread: _ThreadState,
+        index: int,
+        ins: Instruction,
+        memory: _Memory,
+        syncs: List[_PendingSync],
+    ) -> bool:
+        if isinstance(ins, Fence) and ins.tag == SYNC_RCU:
+            # Starting a grace period is always possible (completion is the
+            # separate "sync-done" action), but only once.
+            if any(s.thread == thread.tid for s in syncs):
+                return False
+        # Register dependencies: every register the instruction needs must
+        # have been produced already (producers are always po-earlier).
+        if not self._regs_ready(thread, index, ins):
+            return False
+        # Reordering against pending earlier instructions.
+        for earlier_index in range(thread.head, index):
+            if earlier_index in thread.done:
+                continue
+            if not self._may_pass(thread.stream[earlier_index], ins):
+                return False
+        # A spin_lock can only start when the lock value matches.
+        if isinstance(ins, Rmw) and ins.require_read_value is not None:
+            loc = self._eval_addr(ins.addr, thread.regs)
+            current, _ = self._buffered_value(thread, loc, memory)
+            if current != ins.require_read_value:
+                return False
+        return True
+
+    def _regs_ready(
+        self, thread: _ThreadState, index: int, ins: Instruction
+    ) -> bool:
+        needed: Set[str] = set()
+        for expr in _expr_operands(ins):
+            _collect_regs(expr, needed)
+        if not needed:
+            return True
+        produced: Set[str] = set(thread.regs)
+        # Registers produced by *pending* earlier instructions don't count.
+        for earlier_index in range(thread.head, index):
+            if earlier_index in thread.done:
+                continue
+            earlier = thread.stream[earlier_index]
+            target = _written_register(earlier)
+            if target is not None:
+                produced.discard(target)
+        return needed <= produced
+
+    def _may_pass(self, earlier: Instruction, later: Instruction) -> bool:
+        """May ``later`` complete while ``earlier`` is still pending?"""
+        if isinstance(earlier, (If, Rmw, CmpXchg)):
+            return False
+        if isinstance(later, (Rmw, CmpXchg)):
+            return False
+        if isinstance(earlier, LocalAssign) or isinstance(later, LocalAssign):
+            return True
+        if isinstance(earlier, Fence):
+            if earlier.tag in _LK_SPECIALS:
+                return False
+            rule = self.arch.fence_rule(earlier.tag)
+            if isinstance(later, Fence):
+                return False  # fences stay ordered with each other
+            later_kind = "R" if isinstance(later, Load) else "W"
+            # later may pass the fence iff the fence blocks no (k, later)
+            # pair for any earlier kind k — conservatively, iff later's
+            # kind never appears as the blocked later side.
+            return all(b != later_kind for (_, b) in rule.blocks)
+        if isinstance(later, Fence):
+            if later.tag in _LK_SPECIALS:
+                return False
+            rule = self.arch.fence_rule(later.tag)
+            earlier_kind = "R" if isinstance(earlier, Load) else "W"
+            return all(a != earlier_kind for (a, _) in rule.blocks)
+        if not self.arch.out_of_order:
+            return False
+        # Same-location accesses stay in order (coherence).
+        earlier_loc = _static_location(earlier)
+        later_loc = _static_location(later)
+        if earlier_loc is None or later_loc is None or earlier_loc == later_loc:
+            return False
+        # Acquire loads / release stores (instruction-based, e.g. ARMv8).
+        if isinstance(earlier, Load) and earlier.tag == "ldar":
+            return False
+        if isinstance(later, Store) and later.tag == "stlr":
+            return False
+        return True
+
+    # -- execution --------------------------------------------------------
+
+    def _execute(
+        self,
+        thread: _ThreadState,
+        index: int,
+        memory: _Memory,
+        threads: List[_ThreadState],
+        syncs: List[_PendingSync],
+        trace: RunTrace,
+    ) -> None:
+        ins = thread.stream[index]
+
+        if isinstance(ins, LocalAssign):
+            value, taints = self._eval_tainted(ins.expr, thread)
+            thread.regs[ins.reg] = value
+            thread.taints[ins.reg] = taints
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, Fence):
+            if ins.tag == RCU_LOCK:
+                thread.rcu_depth += 1
+            elif ins.tag == RCU_UNLOCK:
+                thread.rcu_depth -= 1
+            elif ins.tag == SYNC_RCU:
+                # Full-fence entry: drain, then wait for current readers.
+                self._drain(thread, memory)
+                waiting = {
+                    t.tid
+                    for t in threads
+                    if t.tid != thread.tid and t.rcu_depth > 0
+                }
+                trace.events.append(
+                    TraceEvent(
+                        trace.new_id(), thread.tid, index, "F", ins.tag,
+                        ctrl_taints=thread.ctrl,
+                    )
+                )
+                syncs.append(_PendingSync(thread.tid, waiting))
+                return  # completion happens via the "sync-done" action
+            else:
+                if self.arch.fence_rule(ins.tag).drains:
+                    self._drain(thread, memory)
+            trace.events.append(
+                TraceEvent(
+                    trace.new_id(), thread.tid, index, "F", ins.tag,
+                    ctrl_taints=thread.ctrl,
+                )
+            )
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, Load):
+            loc, addr_taints = self._eval_addr_tainted(ins.addr, thread)
+            value, source = self._buffered_value(thread, loc, memory)
+            read_id = trace.new_id()
+            trace.events.append(
+                TraceEvent(
+                    read_id, thread.tid, index, "R", ins.tag, loc, value,
+                    addr_taints=addr_taints, ctrl_taints=thread.ctrl,
+                )
+            )
+            trace.rf[read_id] = source
+            thread.regs[ins.reg] = value
+            thread.taints[ins.reg] = frozenset({read_id})
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, Store):
+            loc, addr_taints = self._eval_addr_tainted(ins.addr, thread)
+            value, data_taints = self._eval_tainted(ins.value, thread)
+            write_id = trace.new_id()
+            trace.events.append(
+                TraceEvent(
+                    write_id, thread.tid, index, "W", ins.tag, loc, value,
+                    addr_taints=addr_taints, data_taints=data_taints,
+                    ctrl_taints=thread.ctrl,
+                )
+            )
+            if self.arch.store_buffer:
+                thread.buffer.append((loc, value, write_id))
+            else:
+                memory.commit(loc, value, write_id)
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, Rmw):
+            # Atomic: drain the buffer, then read-modify-write memory.
+            self._drain(thread, memory)
+            loc, addr_taints = self._eval_addr_tainted(ins.addr, thread)
+            old = memory.values[loc]
+            read_id = trace.new_id()
+            trace.events.append(
+                TraceEvent(
+                    read_id, thread.tid, index, "R", ins.read_tag, loc, old,
+                    addr_taints=addr_taints, ctrl_taints=thread.ctrl,
+                )
+            )
+            trace.rf[read_id] = memory.writer[loc]
+            thread.regs[ins.reg] = old
+            thread.taints[ins.reg] = frozenset({read_id})
+            new_value, data_taints = self._eval_tainted(ins.new_value, thread)
+            write_id = trace.new_id()
+            trace.events.append(
+                TraceEvent(
+                    write_id, thread.tid, index, "W", ins.write_tag, loc, new_value,
+                    addr_taints=addr_taints,
+                    data_taints=data_taints | {read_id},
+                    ctrl_taints=thread.ctrl,
+                )
+            )
+            memory.commit(loc, new_value, write_id)
+            trace.rmw_pairs.append((read_id, write_id))
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, CmpXchg):
+            self._drain(thread, memory)
+            loc, addr_taints = self._eval_addr_tainted(ins.addr, thread)
+            old = memory.values[loc]
+            expected, _ = self._eval_tainted(ins.expected, thread)
+            read_id = trace.new_id()
+            trace.events.append(
+                TraceEvent(
+                    read_id, thread.tid, index, "R", "once", loc, old,
+                    addr_taints=addr_taints, ctrl_taints=thread.ctrl,
+                )
+            )
+            trace.rf[read_id] = memory.writer[loc]
+            thread.regs[ins.reg] = old
+            thread.taints[ins.reg] = frozenset({read_id})
+            if old == expected:
+                new_value, data_taints = self._eval_tainted(ins.new_value, thread)
+                write_id = trace.new_id()
+                trace.events.append(
+                    TraceEvent(
+                        write_id, thread.tid, index, "W", "once", loc,
+                        new_value, addr_taints=addr_taints,
+                        data_taints=data_taints | {read_id},
+                        ctrl_taints=thread.ctrl,
+                    )
+                )
+                memory.commit(loc, new_value, write_id)
+                trace.rmw_pairs.append((read_id, write_id))
+            thread.done.add(index)
+            return
+
+        if isinstance(ins, If):
+            cond, taints = self._eval_tainted(ins.cond, thread)
+            taken = bool(cond) if not isinstance(cond, Pointer) else True
+            branch = list(ins.then if taken else ins.orelse)
+            thread.stream[index + 1 : index + 1] = branch
+            thread.ctrl = thread.ctrl | taints
+            thread.done.add(index)
+            return
+
+        raise SimulationError(f"cannot simulate {ins!r}")
+
+    def _drain(self, thread: _ThreadState, memory: _Memory) -> None:
+        for loc, value, write_id in thread.buffer:
+            memory.commit(loc, value, write_id)
+        thread.buffer.clear()
+
+    def _buffered_value(
+        self, thread: _ThreadState, loc: str, memory: _Memory
+    ) -> Tuple[Value, int]:
+        """The value visible to ``thread`` at ``loc`` and the id of the
+        write providing it (store forwarding first)."""
+        for buffered_loc, value, write_id in reversed(thread.buffer):
+            if buffered_loc == loc:
+                return value, write_id
+        return memory.values[loc], memory.writer[loc]
+
+    # -- expression evaluation -------------------------------------------
+
+    def _eval(self, expr: Expr, regs: Dict[str, Value]) -> Value:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Reg):
+            return regs.get(expr.name, 0)
+        if isinstance(expr, BinOp):
+            return expr.apply(self._eval(expr.lhs, regs), self._eval(expr.rhs, regs))
+        if isinstance(expr, UnOp):
+            return expr.apply(self._eval(expr.operand, regs))
+        raise SimulationError(f"cannot evaluate {expr!r}")
+
+    def _eval_tainted(
+        self, expr: Expr, thread: _ThreadState
+    ) -> Tuple[Value, FrozenSet[int]]:
+        value = self._eval(expr, thread.regs)
+        taints: Set[int] = set()
+        regs: Set[str] = set()
+        _collect_regs(expr, regs)
+        for name in regs:
+            taints |= thread.taints.get(name, _NO_TAINTS)
+        return value, frozenset(taints)
+
+    def _eval_addr(self, expr: Expr, regs: Dict[str, Value]) -> str:
+        value = self._eval(expr, regs)
+        if not isinstance(value, Pointer):
+            raise SimulationError(f"non-pointer address {value!r}")
+        return value.loc
+
+    def _eval_addr_tainted(
+        self, expr: Expr, thread: _ThreadState
+    ) -> Tuple[str, FrozenSet[int]]:
+        value, taints = self._eval_tainted(expr, thread)
+        if not isinstance(value, Pointer):
+            raise SimulationError(f"non-pointer address {value!r}")
+        return value.loc, taints
+
+
+# -- static helpers ----------------------------------------------------------
+
+
+def _expr_operands(ins: Instruction) -> List[Expr]:
+    if isinstance(ins, Load):
+        return [ins.addr]
+    if isinstance(ins, Store):
+        return [ins.addr, ins.value]
+    if isinstance(ins, Rmw):
+        # new_value may reference the destination register (the value just
+        # read), which the RMW itself produces — don't require it.
+        needed = []
+        _collect_regs_excluding(ins.new_value, ins.reg, needed)
+        return [ins.addr] + needed
+    if isinstance(ins, CmpXchg):
+        needed = []
+        _collect_regs_excluding(ins.new_value, ins.reg, needed)
+        return [ins.addr, ins.expected] + needed
+    if isinstance(ins, If):
+        return [ins.cond]
+    if isinstance(ins, LocalAssign):
+        return [ins.expr]
+    return []
+
+
+def _collect_regs(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, Reg):
+        out.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _collect_regs(expr.lhs, out)
+        _collect_regs(expr.rhs, out)
+    elif isinstance(expr, UnOp):
+        _collect_regs(expr.operand, out)
+
+
+def _collect_regs_excluding(expr: Expr, excluded: str, out: List[Expr]) -> None:
+    regs: Set[str] = set()
+    _collect_regs(expr, regs)
+    regs.discard(excluded)
+    out.extend(Reg(name) for name in regs)
+
+
+def _written_register(ins: Instruction) -> Optional[str]:
+    if isinstance(ins, (Load, Rmw, CmpXchg)):
+        return ins.reg
+    if isinstance(ins, LocalAssign):
+        return ins.reg
+    return None
+
+
+def _static_location(ins: Instruction) -> Optional[str]:
+    """The statically-known location of an access, or None if dynamic."""
+    addr = ins.addr if isinstance(ins, (Load, Store)) else None
+    if isinstance(addr, Const) and isinstance(addr.value, Pointer):
+        return addr.value.loc
+    return None

@@ -1,0 +1,129 @@
+"""The top-level simulator: run a model over a litmus test.
+
+This plays the role of the herd tool (Section 5 of the paper): enumerate
+the candidate executions of a test, keep the ones the model allows, and
+judge the final-state condition.
+
+The verdicts follow the paper's Table 5 vocabulary:
+
+* for an ``exists`` condition — **Allow** if some allowed execution
+  satisfies it, **Forbid** otherwise;
+* for ``~exists`` — **Forbid** means the model indeed rules the witness
+  out (the test "passes"), **Allow** means the witness is reachable;
+* for ``forall`` — **Allow** if every allowed execution satisfies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.executions.candidate import CandidateExecution
+from repro.executions.enumerate import candidate_executions
+from repro.litmus.ast import Program
+from repro.litmus.outcomes import Exists, Forall, FinalState, NotExists
+from repro.model import Model
+
+ALLOW = "Allow"
+FORBID = "Forbid"
+
+
+@dataclass
+class RunResult:
+    """The outcome of running one model over one litmus test."""
+
+    program: Program
+    model_name: str
+    #: Total candidate executions enumerated.
+    candidates: int
+    #: Executions the model allows.
+    allowed: int
+    #: Allowed executions whose final state satisfies the condition body.
+    witnesses: int
+    #: Distinct final states of allowed executions.
+    states: Set[FinalState] = field(default_factory=set)
+    #: One allowed execution matching the condition, if any (kept for
+    #: explanation tooling).
+    witness_execution: Optional[CandidateExecution] = None
+    #: One forbidden execution matching the condition, if any.
+    forbidden_witness: Optional[CandidateExecution] = None
+
+    @property
+    def verdict(self) -> str:
+        """``Allow``/``Forbid`` for the test's target behaviour."""
+        condition = self.program.condition
+        if condition is None or isinstance(condition, (Exists, NotExists)):
+            return ALLOW if self.witnesses > 0 else FORBID
+        if isinstance(condition, Forall):
+            return ALLOW if self.witnesses == self.allowed else FORBID
+        raise TypeError(f"unknown condition {condition!r}")
+
+    @property
+    def observation(self) -> str:
+        """herd-style observation summary: Never/Sometimes/Always."""
+        if self.witnesses == 0:
+            return "Never"
+        if self.witnesses == self.allowed:
+            return "Always"
+        return "Sometimes"
+
+    def describe(self) -> str:
+        return (
+            f"{self.program.name} under {self.model_name}: {self.verdict} "
+            f"({self.witnesses} witnesses / {self.allowed} allowed / "
+            f"{self.candidates} candidates)"
+        )
+
+
+def run_litmus(
+    model: Model,
+    program: Program,
+    require_sc_per_location: bool = False,
+    keep_states: bool = True,
+) -> RunResult:
+    """Run ``program`` against ``model`` and summarise the results.
+
+    ``require_sc_per_location`` may be set for models known to include the
+    Scpv axiom (all models in this package do) to speed up enumeration of
+    large tests.
+    """
+    condition = program.condition
+    result = RunResult(
+        program=program,
+        model_name=model.name,
+        candidates=0,
+        allowed=0,
+        witnesses=0,
+    )
+    for execution in candidate_executions(
+        program, require_sc_per_location=require_sc_per_location
+    ):
+        result.candidates += 1
+        matches = (
+            condition is None or condition.evaluate(execution.final_state)
+        )
+        if not model.allows(execution):
+            if matches and result.forbidden_witness is None:
+                result.forbidden_witness = execution
+            continue
+        result.allowed += 1
+        if keep_states:
+            result.states.add(execution.final_state)
+        if matches:
+            result.witnesses += 1
+            if result.witness_execution is None:
+                result.witness_execution = execution
+    return result
+
+
+def verdicts(
+    models: List[Model], programs: List[Program], **kwargs
+) -> Dict[str, Dict[str, str]]:
+    """Verdict table: ``{test name: {model name: Allow/Forbid}}``."""
+    table: Dict[str, Dict[str, str]] = {}
+    for program in programs:
+        row: Dict[str, str] = {}
+        for model in models:
+            row[model.name] = run_litmus(model, program, **kwargs).verdict
+        table[program.name] = row
+    return table

@@ -1,0 +1,534 @@
+"""Parser for herd-style C litmus tests.
+
+The paper's test corpus is written in a subset of C extended with LK
+primitives (Section 5).  This module parses that format::
+
+    C MP+wmb+rmb
+
+    {
+     x=0;
+     y=0;
+    }
+
+    P0(int *x, int *y)
+    {
+        WRITE_ONCE(*x, 1);
+        smp_wmb();
+        WRITE_ONCE(*y, 1);
+    }
+
+    P1(int *x, int *y)
+    {
+        int r0;
+        int r1;
+
+        r0 = READ_ONCE(*y);
+        smp_rmb();
+        r1 = READ_ONCE(*x);
+    }
+
+    exists (1:r0=1 /\\ 1:r1=0)
+
+Supported statements: ONCE/acquire/release accesses, plain accesses, all
+fences of Tables 3 and 4, ``xchg`` variants, ``cmpxchg``,
+``rcu_dereference`` / ``rcu_assign_pointer``, ``spin_lock`` /
+``spin_unlock``, ``if``/``else``, and local register arithmetic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import Pointer, Value
+from repro.litmus.ast import (
+    BinOp,
+    CmpXchg,
+    Const,
+    Expr,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    Program,
+    Reg,
+    Rmw,
+    Store,
+    Thread,
+    UnOp,
+)
+from repro.litmus import dsl
+from repro.litmus.outcomes import (
+    And,
+    Condition,
+    Exists,
+    Forall,
+    LocValue,
+    Not,
+    NotExists,
+    Or,
+    RegValue,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed litmus input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|\(\*.*?\*\)|/\*.*?\*/)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<num>\d+)
+  | (?P<op>/\\|\\/|==|!=|<=|>=|&&|\|\||[{}()\[\];,=\*&\+\-<>!~:\|\^])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_HEADER_RE = re.compile(
+    r"^\s*(?:(?://|\(\*|/\*).*?\n)*\s*(?:C|LK|Linux)[ \t]+(?P<name>\S+)[ \t]*\n",
+    re.DOTALL,
+)
+
+#: Fence primitive names recognised as statements.
+_FENCES = {
+    "smp_mb": dsl.smp_mb,
+    "smp_rmb": dsl.smp_rmb,
+    "smp_wmb": dsl.smp_wmb,
+    "smp_read_barrier_depends": dsl.smp_read_barrier_depends,
+    "rcu_read_lock": dsl.rcu_read_lock,
+    "rcu_read_unlock": dsl.rcu_read_unlock,
+    "synchronize_rcu": dsl.synchronize_rcu,
+}
+
+_RMW_NAMES = {"xchg", "xchg_relaxed", "xchg_acquire", "xchg_release"}
+_CMPXCHG_NAMES = {
+    "cmpxchg": "xchg",
+    "cmpxchg_relaxed": "xchg_relaxed",
+    "cmpxchg_acquire": "xchg_acquire",
+    "cmpxchg_release": "xchg_release",
+}
+_TYPE_WORDS = {"int", "long", "unsigned", "volatile", "atomic_t", "void", "char"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Tokens:
+    """A token cursor with one-token lookahead."""
+
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._idx = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        idx = self._idx + offset
+        return self._tokens[idx] if idx < len(self._tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._idx += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self._idx += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._idx >= len(self._tokens)
+
+
+def parse_litmus(text: str) -> Program:
+    """Parse a litmus test from its textual form."""
+    header = _HEADER_RE.match(text)
+    if header is None:
+        raise ParseError(
+            'litmus test must start with a header line such as "C <name>"'
+        )
+    name = header.group("name")
+    tokens = _Tokens(_tokenize(text[header.end():]))
+
+    init: Dict[str, Value] = {}
+    if tokens.peek() == "{":
+        init = _parse_init(tokens)
+
+    threads: List[Tuple[int, Thread]] = []
+    while _is_thread_header(tokens):
+        tid, th = _parse_thread(tokens)
+        threads.append((tid, th))
+    if not threads:
+        raise ParseError(f"litmus test {name!r} has no threads")
+    threads.sort(key=lambda pair: pair[0])
+    expected = list(range(len(threads)))
+    if [tid for tid, _ in threads] != expected:
+        raise ParseError(f"thread ids must be P0..P{len(threads) - 1}")
+
+    condition: Optional[Condition] = None
+    if not tokens.exhausted:
+        condition = _parse_condition(tokens)
+    if not tokens.exhausted:
+        raise ParseError(f"trailing input starting at {tokens.peek()!r}")
+    return Program(name, tuple(th for _, th in threads), init, condition)
+
+
+def _is_thread_header(tokens: _Tokens) -> bool:
+    token = tokens.peek()
+    return (
+        token is not None
+        and re.fullmatch(r"P\d+", token) is not None
+        and tokens.peek(1) == "("
+    )
+
+
+def _parse_init(tokens: _Tokens) -> Dict[str, Value]:
+    tokens.expect("{")
+    init: Dict[str, Value] = {}
+    while not tokens.accept("}"):
+        # Skip type words: "int *p = &x;" or "int x = 1;".
+        while tokens.peek() in _TYPE_WORDS:
+            tokens.next()
+        while tokens.accept("*"):
+            pass
+        name = tokens.next()
+        if tokens.accept("="):
+            init[name] = _parse_init_value(tokens)
+        else:
+            init[name] = 0
+        tokens.accept(";")
+    return init
+
+
+def _parse_init_value(tokens: _Tokens) -> Value:
+    if tokens.accept("&"):
+        return Pointer(tokens.next())
+    negative = tokens.accept("-")
+    token = tokens.next()
+    if re.fullmatch(r"\d+", token):
+        return -int(token) if negative else int(token)
+    if negative:
+        raise ParseError(f"expected a number after '-', got {token!r}")
+    # A bare identifier in init position is an address (herd allows "y=x").
+    return Pointer(token)
+
+
+def _parse_thread(tokens: _Tokens) -> Tuple[int, Thread]:
+    header = tokens.next()
+    tid = int(header[1:])
+    tokens.expect("(")
+    params: List[str] = []
+    while not tokens.accept(")"):
+        while tokens.peek() in _TYPE_WORDS:
+            tokens.next()
+        while tokens.accept("*"):
+            pass
+        params.append(tokens.next())
+        tokens.accept(",")
+    body_parser = _ThreadParser(tokens, set(params))
+    body = body_parser.parse_block()
+    return tid, Thread(tuple(body))
+
+
+class _ThreadParser:
+    """Parses one thread body: statements between braces."""
+
+    def __init__(self, tokens: _Tokens, params: set):
+        self.tokens = tokens
+        self.params = params
+        self.registers: set = set()
+
+    def parse_block(self) -> List[Instruction]:
+        self.tokens.expect("{")
+        body: List[Instruction] = []
+        while not self.tokens.accept("}"):
+            body.extend(self.parse_statement())
+        return body
+
+    def parse_statement(self) -> List[Instruction]:
+        tokens = self.tokens
+        token = tokens.peek()
+        if token is None:
+            raise ParseError("unexpected end of thread body")
+
+        if token == ";":
+            tokens.next()
+            return []
+        if token == "if":
+            return [self._parse_if()]
+        if token in _TYPE_WORDS:
+            return self._parse_declaration()
+        if token in _FENCES and tokens.peek(1) == "(":
+            tokens.next()
+            tokens.expect("(")
+            tokens.expect(")")
+            tokens.expect(";")
+            return [_FENCES[token]()]
+        if token in ("WRITE_ONCE", "smp_store_release", "rcu_assign_pointer"):
+            return [self._parse_store_call(tokens.next())]
+        if token in ("spin_lock", "spin_unlock"):
+            tokens.next()
+            tokens.expect("(")
+            addr = self._parse_address()
+            tokens.expect(")")
+            tokens.expect(";")
+            maker = dsl.spin_lock if token == "spin_lock" else dsl.spin_unlock
+            return [maker(addr)]
+        if token == "*":
+            # Plain store through a pointer: "*x = e;".
+            tokens.next()
+            addr = self._parse_primary_address()
+            tokens.expect("=")
+            value = self._parse_expression()
+            tokens.expect(";")
+            return [Store(addr, value, "plain")]
+        # Otherwise: "reg = ..." assignment.
+        return self._parse_assignment()
+
+    def _parse_declaration(self) -> List[Instruction]:
+        tokens = self.tokens
+        while tokens.peek() in _TYPE_WORDS:
+            tokens.next()
+        while tokens.accept("*"):
+            pass
+        name = tokens.next()
+        self.registers.add(name)
+        if tokens.accept(";"):
+            return []
+        tokens.expect("=")
+        return self._finish_register_assignment(name)
+
+    def _parse_assignment(self) -> List[Instruction]:
+        tokens = self.tokens
+        name = tokens.next()
+        self.registers.add(name)
+        tokens.expect("=")
+        return self._finish_register_assignment(name)
+
+    def _finish_register_assignment(self, register: str) -> List[Instruction]:
+        tokens = self.tokens
+        token = tokens.peek()
+        instruction: Instruction
+        if token in ("READ_ONCE", "smp_load_acquire", "rcu_dereference"):
+            call = tokens.next()
+            tokens.expect("(")
+            addr = self._parse_address()
+            tokens.expect(")")
+            tokens.expect(";")
+            if call == "READ_ONCE":
+                instruction = Load(register, addr, "once")
+            elif call == "smp_load_acquire":
+                instruction = Load(register, addr, "acquire")
+            else:
+                instruction = Load(register, addr, "once", rb_dep=True)
+            return [instruction]
+        if token in _RMW_NAMES:
+            variant = tokens.next()
+            tokens.expect("(")
+            addr = self._parse_address()
+            tokens.expect(",")
+            value = self._parse_expression()
+            tokens.expect(")")
+            tokens.expect(";")
+            return [Rmw(register, addr, value, variant)]
+        if token in _CMPXCHG_NAMES:
+            variant = _CMPXCHG_NAMES[tokens.next()]
+            tokens.expect("(")
+            addr = self._parse_address()
+            tokens.expect(",")
+            expected = self._parse_expression()
+            tokens.expect(",")
+            new_value = self._parse_expression()
+            tokens.expect(")")
+            tokens.expect(";")
+            return [CmpXchg(register, addr, expected, new_value, variant)]
+        if token == "*":
+            tokens.next()
+            addr = self._parse_primary_address()
+            tokens.expect(";")
+            return [Load(register, addr, "plain")]
+        value = self._parse_expression()
+        tokens.expect(";")
+        return [LocalAssign(register, value)]
+
+    def _parse_store_call(self, call: str) -> Store:
+        tokens = self.tokens
+        tokens.expect("(")
+        addr = self._parse_address()
+        tokens.expect(",")
+        value = self._parse_expression()
+        tokens.expect(")")
+        tokens.expect(";")
+        tag = "once" if call == "WRITE_ONCE" else "release"
+        return Store(addr, value, tag)
+
+    def _parse_if(self) -> If:
+        tokens = self.tokens
+        tokens.expect("if")
+        tokens.expect("(")
+        cond = self._parse_expression()
+        tokens.expect(")")
+        then = self._parse_branch()
+        orelse: List[Instruction] = []
+        if tokens.accept("else"):
+            orelse = self._parse_branch()
+        return If(cond, tuple(then), tuple(orelse))
+
+    def _parse_branch(self) -> List[Instruction]:
+        if self.tokens.peek() == "{":
+            return self.parse_block()
+        return self.parse_statement()
+
+    # -- addresses and expressions ------------------------------------------
+
+    def _parse_address(self) -> Expr:
+        """An address argument: ``*x``, ``x``, ``&x``, or ``*r`` for a
+        register holding a pointer."""
+        tokens = self.tokens
+        if tokens.accept("*"):
+            return self._parse_primary_address()
+        if tokens.accept("&"):
+            return Const(Pointer(tokens.next()))
+        return self._parse_primary_address()
+
+    def _parse_primary_address(self) -> Expr:
+        tokens = self.tokens
+        if tokens.accept("("):
+            # A computed address, e.g. the diy false dependency
+            # "*((&y + (r0 & 0)))".
+            addr = self._parse_expression()
+            tokens.expect(")")
+            return addr
+        name = tokens.next()
+        if name in self.registers:
+            return Reg(name)
+        # Parameters and undeclared names denote shared locations.
+        return Const(Pointer(name))
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_binary(0)
+
+    _PRECEDENCE = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["+", "-"],
+    ]
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        while self.tokens.peek() in self._PRECEDENCE[level]:
+            op = self.tokens.next()
+            rhs = self._parse_binary(level + 1)
+            lhs = BinOp(op, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        tokens = self.tokens
+        if tokens.accept("!"):
+            return UnOp("!", self._parse_unary())
+        if tokens.accept("-"):
+            return UnOp("-", self._parse_unary())
+        if tokens.accept("&"):
+            return Const(Pointer(tokens.next()))
+        if tokens.accept("("):
+            expr = self._parse_expression()
+            tokens.expect(")")
+            return expr
+        token = tokens.next()
+        if re.fullmatch(r"\d+", token):
+            return Const(int(token))
+        if token in self.registers:
+            return Reg(token)
+        # A parameter used as a value is the pointer itself.
+        return Const(Pointer(token))
+
+
+# ---------------------------------------------------------------------------
+# Final-state conditions
+# ---------------------------------------------------------------------------
+
+
+def _parse_condition(tokens: _Tokens) -> Condition:
+    negated = tokens.accept("~")
+    quantifier = tokens.next()
+    if quantifier not in ("exists", "forall"):
+        raise ParseError(f"expected exists/forall, got {quantifier!r}")
+    body = _parse_cond_or(tokens)
+    if quantifier == "forall":
+        if negated:
+            raise ParseError("~forall is not supported")
+        return Forall(body)
+    return NotExists(body) if negated else Exists(body)
+
+
+def _parse_cond_or(tokens: _Tokens) -> Condition:
+    lhs = _parse_cond_and(tokens)
+    while tokens.accept("\\/"):
+        rhs = _parse_cond_and(tokens)
+        lhs = Or(lhs, rhs)
+    return lhs
+
+
+def _parse_cond_and(tokens: _Tokens) -> Condition:
+    lhs = _parse_cond_atom(tokens)
+    while tokens.accept("/\\"):
+        rhs = _parse_cond_atom(tokens)
+        lhs = And(lhs, rhs)
+    return lhs
+
+
+def _parse_cond_atom(tokens: _Tokens) -> Condition:
+    if tokens.accept("~") or tokens.accept("not"):
+        return Not(_parse_cond_atom(tokens))
+    if tokens.accept("("):
+        cond = _parse_cond_or(tokens)
+        tokens.expect(")")
+        return cond
+    first = tokens.next()
+    if re.fullmatch(r"\d+", first) and tokens.peek() == ":":
+        tokens.expect(":")
+        register = tokens.next()
+        tokens.expect("=")
+        return RegValue(int(first), register, _parse_cond_value(tokens))
+    tokens.expect("=")
+    return LocValue(first, _parse_cond_value(tokens))
+
+
+def _parse_cond_value(tokens: _Tokens) -> Value:
+    if tokens.accept("&"):
+        return Pointer(tokens.next())
+    negative = tokens.accept("-")
+    token = tokens.next()
+    if re.fullmatch(r"\d+", token):
+        return -int(token) if negative else int(token)
+    if negative:
+        raise ParseError(f"expected a number after '-', got {token!r}")
+    return Pointer(token)

@@ -1,0 +1,18 @@
+"""The Linux-kernel memory model (the paper's primary contribution).
+
+Two interchangeable implementations exist:
+
+* :class:`repro.lkmm.model.LinuxKernelModel` — a direct Python rendering of
+  Figures 3, 8, and 12 of the paper (this module);
+* ``cat/models/lkmm.cat`` — the model written in the cat language and run
+  by :mod:`repro.cat.eval`, as the paper's artefact is.
+
+The two are differentially tested against each other over the whole test
+corpus (``tests/test_differential.py``), which is how we catch
+transcription errors in either rendering.
+"""
+
+from repro.lkmm.model import LinuxKernelModel, LkmmRelations
+from repro.lkmm.explain import explain_forbidden
+
+__all__ = ["LinuxKernelModel", "LkmmRelations", "explain_forbidden"]

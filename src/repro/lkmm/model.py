@@ -1,0 +1,341 @@
+"""The Linux-kernel memory model, in Python.
+
+This is a line-by-line rendering of the paper's formal definitions:
+
+* Figure 3 — the core axioms::
+
+      acyclic(po-loc | com)          (Scpv)
+      empty(rmw & (fre ; coe))       (At)
+      acyclic(hb)                    (Hb)
+      acyclic(pb)                    (Pb)
+
+* Figure 8 — the relations::
+
+      dep          := addr | data
+      rwdep        := (dep | ctrl) & (R x W)
+      overwrite    := co | fr
+      to-w         := rwdep | (overwrite & int)
+      rrdep        := addr | (dep ; rfi)
+      strong-rrdep := rrdep+ & rb-dep
+      to-r         := strong-rrdep | rfi-rel-acq
+      strong-fence := mb                      (| gp with RCU, Figure 12)
+      fence        := strong-fence | po-rel | wmb | rmb | acq-po
+      ppo          := rrdep* ; (to-r | to-w | fence)
+      cumul-fence  := A-cumul(strong-fence | po-rel) | wmb
+      prop         := (overwrite & ext)? ; cumul-fence* ; rfe?
+      hb           := ((prop \\ id) & int) | ppo | rfe
+      pb           := prop ; strong-fence ; hb*
+
+  where ``A-cumul(r) := rfe? ; r``, and the auxiliary fence relations are:
+  ``mb``/``rmb``/``wmb``/``rb-dep`` pair events separated by the
+  corresponding fence (``rmb``, ``wmb`` and ``rb-dep`` restricted to
+  read/write pairs as described in Section 3), ``acq-po`` pairs an acquire
+  with any po-later event, ``po-rel`` pairs any event with a po-later
+  release, and ``rfi-rel-acq`` is an internal reads-from from a release to
+  an acquire.
+
+* Figure 12 — the RCU axiom::
+
+      gp        := (po & (_ x Sync)) ; po?
+      rscs      := po ; crit^-1 ; po?
+      link      := hb* ; pb* ; prop
+      gp-link   := gp ; link
+      rscs-link := rscs ; link
+      rec rcu-path := gp-link | (rcu-path ; rcu-path)
+                    | (gp-link ; rscs-link) | (rscs-link ; gp-link)
+                    | (gp-link ; rcu-path ; rscs-link)
+                    | (rscs-link ; rcu-path ; gp-link)
+      irreflexive(rcu-path)
+
+  with ``strong-fence := mb | gp`` feeding back into the core relations,
+  so that ``synchronize_rcu`` can be used wherever ``smp_mb`` can.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import (
+    ACQUIRE,
+    Event,
+    MB,
+    RB_DEP,
+    RCU_LOCK,
+    RCU_UNLOCK,
+    RELEASE,
+    RMB,
+    SYNC_RCU,
+    WMB,
+)
+from repro.executions.candidate import CandidateExecution
+from repro.model import AxiomViolation, Model, ModelResult
+from repro.relations import EventSet, Relation, least_fixpoint
+
+
+class LkmmRelations:
+    """All derived relations of Figures 8 and 12 for one execution.
+
+    Exposed as cached properties so explanation tooling
+    (:mod:`repro.lkmm.explain`) can inspect exactly the relations the model
+    used.
+    """
+
+    def __init__(self, execution: CandidateExecution, with_rcu: bool = True):
+        self.x = execution
+        self.with_rcu = with_rcu
+
+    # -- auxiliary fence relations (Section 3) ---------------------------
+
+    def fencerel(self, tag: str) -> Relation:
+        """Pairs of events separated in po by a fence tagged ``tag``."""
+        x = self.x
+        fences = x.tagged(tag) & x.fences
+        before = x.po.restrict(range_=fences)
+        after = x.po.restrict(domain=fences)
+        return before.sequence(after)
+
+    @cached_property
+    def mb(self) -> Relation:
+        return self.fencerel(MB)
+
+    @cached_property
+    def rmb(self) -> Relation:
+        x = self.x
+        return self.fencerel(RMB) & (x.reads * x.reads)
+
+    @cached_property
+    def wmb(self) -> Relation:
+        x = self.x
+        return self.fencerel(WMB) & (x.writes * x.writes)
+
+    @cached_property
+    def rb_dep(self) -> Relation:
+        x = self.x
+        return self.fencerel(RB_DEP) & (x.reads * x.reads)
+
+    @cached_property
+    def acq_po(self) -> Relation:
+        x = self.x
+        return x.tagged(ACQUIRE).identity().sequence(x.po)
+
+    @cached_property
+    def po_rel(self) -> Relation:
+        x = self.x
+        return x.po.sequence(x.tagged(RELEASE).identity())
+
+    @cached_property
+    def rfi_rel_acq(self) -> Relation:
+        x = self.x
+        return (
+            x.tagged(RELEASE)
+            .identity()
+            .sequence(x.rfi)
+            .sequence(x.tagged(ACQUIRE).identity())
+        )
+
+    # -- Figure 8 ----------------------------------------------------------
+
+    @cached_property
+    def dep(self) -> Relation:
+        return self.x.addr | self.x.data
+
+    @cached_property
+    def rwdep(self) -> Relation:
+        x = self.x
+        return (self.dep | x.ctrl) & (x.reads * x.writes)
+
+    @cached_property
+    def overwrite(self) -> Relation:
+        return self.x.co | self.x.fr
+
+    @cached_property
+    def to_w(self) -> Relation:
+        return self.rwdep | (self.overwrite & self.x.int_)
+
+    @cached_property
+    def rrdep(self) -> Relation:
+        return self.x.addr | self.dep.sequence(self.x.rfi)
+
+    @cached_property
+    def strong_rrdep(self) -> Relation:
+        return self.rrdep.transitive_closure() & self.rb_dep
+
+    @cached_property
+    def to_r(self) -> Relation:
+        return self.strong_rrdep | self.rfi_rel_acq
+
+    @cached_property
+    def gp(self) -> Relation:
+        """``(po & (_ x Sync)) ; po?`` — Figure 12."""
+        x = self.x
+        sync = x.tagged(SYNC_RCU)
+        to_sync = x.po & (x.all_events * sync)
+        return to_sync.sequence(x.po.optional())
+
+    @cached_property
+    def strong_fence(self) -> Relation:
+        if self.with_rcu:
+            return self.mb | self.gp
+        return self.mb
+
+    @cached_property
+    def fence(self) -> Relation:
+        return (
+            self.strong_fence | self.po_rel | self.wmb | self.rmb | self.acq_po
+        )
+
+    @cached_property
+    def ppo(self) -> Relation:
+        return self.rrdep.reflexive_transitive_closure().sequence(
+            self.to_r | self.to_w | self.fence
+        )
+
+    def a_cumul(self, r: Relation) -> Relation:
+        """``A-cumul(r) := rfe? ; r``."""
+        return self.x.rfe.optional().sequence(r)
+
+    @cached_property
+    def cumul_fence(self) -> Relation:
+        return self.a_cumul(self.strong_fence | self.po_rel) | self.wmb
+
+    @cached_property
+    def prop(self) -> Relation:
+        x = self.x
+        return (
+            (self.overwrite & x.ext)
+            .optional()
+            .sequence(self.cumul_fence.reflexive_transitive_closure())
+            .sequence(x.rfe.optional())
+        )
+
+    @cached_property
+    def hb(self) -> Relation:
+        x = self.x
+        return ((self.prop - x.identity) & x.int_) | self.ppo | x.rfe
+
+    @cached_property
+    def pb(self) -> Relation:
+        return self.prop.sequence(self.strong_fence).sequence(
+            self.hb.reflexive_transitive_closure()
+        )
+
+    # -- Figure 12 ---------------------------------------------------------
+
+    @cached_property
+    def crit(self) -> Relation:
+        """Outermost ``rcu_read_lock`` to its matching ``rcu_read_unlock``.
+
+        Nesting is tracked per thread; only depth-1 lock/unlock pairs are
+        related, as the paper specifies ("crit connects each outermost
+        rcu_read_lock() to its matching rcu_read_unlock()").
+        """
+        x = self.x
+        pairs: List[Tuple[Event, Event]] = []
+        by_tid: Dict[int, List[Event]] = {}
+        for event in x.events:
+            by_tid.setdefault(event.tid, []).append(event)
+        for events in by_tid.values():
+            events.sort(key=lambda e: e.po_index)
+            depth = 0
+            outermost: Optional[Event] = None
+            for event in events:
+                if event.has_tag(RCU_LOCK):
+                    if depth == 0:
+                        outermost = event
+                    depth += 1
+                elif event.has_tag(RCU_UNLOCK):
+                    depth -= 1
+                    if depth == 0 and outermost is not None:
+                        pairs.append((outermost, event))
+                        outermost = None
+        return Relation(pairs, x.universe)
+
+    @cached_property
+    def rscs(self) -> Relation:
+        """``po ; crit^-1 ; po?``."""
+        return self.x.po.sequence(self.crit.inverse()).sequence(
+            self.x.po.optional()
+        )
+
+    @cached_property
+    def link(self) -> Relation:
+        """``hb* ; pb* ; prop``."""
+        return (
+            self.hb.reflexive_transitive_closure()
+            .sequence(self.pb.reflexive_transitive_closure())
+            .sequence(self.prop)
+        )
+
+    @cached_property
+    def gp_link(self) -> Relation:
+        return self.gp.sequence(self.link)
+
+    @cached_property
+    def rscs_link(self) -> Relation:
+        return self.rscs.sequence(self.link)
+
+    @cached_property
+    def rcu_path(self) -> Relation:
+        """The recursive relation of Figure 12, as a least fixpoint."""
+        gp_link = self.gp_link
+        rscs_link = self.rscs_link
+
+        def step(current: Relation) -> Relation:
+            return (
+                gp_link
+                | current.sequence(current)
+                | gp_link.sequence(rscs_link)
+                | rscs_link.sequence(gp_link)
+                | gp_link.sequence(current).sequence(rscs_link)
+                | rscs_link.sequence(current).sequence(gp_link)
+            )
+
+        return least_fixpoint(step, self.x.universe)
+
+
+class LinuxKernelModel(Model):
+    """The LK model: core axioms (Figure 3) plus the RCU axiom (Figure 12)."""
+
+    def __init__(self, with_rcu: bool = True):
+        self.with_rcu = with_rcu
+        self.name = "LKMM" if with_rcu else "LKMM-core"
+
+    def relations(self, execution: CandidateExecution) -> LkmmRelations:
+        return LkmmRelations(execution, with_rcu=self.with_rcu)
+
+    def check(self, execution: CandidateExecution) -> ModelResult:
+        rel = self.relations(execution)
+        x = execution
+        violations: List[AxiomViolation] = []
+
+        scpv = x.po_loc | x.com
+        cycle = scpv.find_cycle()
+        if cycle is not None:
+            violations.append(AxiomViolation("Scpv", "acyclic", tuple(cycle)))
+
+        at = x.rmw & x.fre.sequence(x.coe)
+        if not at.is_empty():
+            violations.append(AxiomViolation("At", "empty", tuple(at.pairs)))
+
+        cycle = rel.hb.find_cycle()
+        if cycle is not None:
+            violations.append(AxiomViolation("Hb", "acyclic", tuple(cycle)))
+
+        cycle = rel.pb.find_cycle()
+        if cycle is not None:
+            violations.append(AxiomViolation("Pb", "acyclic", tuple(cycle)))
+
+        if self.with_rcu:
+            reflexive = [
+                (a, b) for a, b in rel.rcu_path.pairs if a == b
+            ]
+            if reflexive:
+                witness = tuple(
+                    event for pair in reflexive[:1] for event in pair
+                )
+                violations.append(
+                    AxiomViolation("Rcu", "irreflexive", witness)
+                )
+
+        return ModelResult(allowed=not violations, violations=violations)

@@ -1,0 +1,45 @@
+"""Read-Copy-Update: the paper's Section 4 and Section 6.
+
+* :mod:`repro.rcu.axiom` — the RCU axiom of Figure 12 (counting grace
+  periods against critical sections along cycles);
+* :mod:`repro.rcu.law` — the fundamental law ("read-side critical
+  sections cannot span grace periods"), via precedes functions;
+* :mod:`repro.rcu.theorems` — the mechanised check of Theorem 1 (the
+  axiom and the law agree) over finite executions;
+* :mod:`repro.rcu.implementation` — the userspace RCU implementation of
+  Figure 15, its inlining transformation P -> P', and the empirical check
+  of Theorem 2 (allowed executions of P' project to allowed executions
+  of P).
+"""
+
+from repro.rcu.axiom import rcu_axiom_holds, grace_periods, critical_sections
+from repro.rcu.law import (
+    PrecedesFunction,
+    RSCS,
+    fundamental_law_holds,
+    rcu_fence,
+    enlarged_pb,
+)
+from repro.rcu.theorems import Theorem1Result, check_theorem1, check_theorem1_on_program
+from repro.rcu.implementation import (
+    inline_rcu,
+    verify_implementation,
+    ImplementationReport,
+)
+
+__all__ = [
+    "rcu_axiom_holds",
+    "grace_periods",
+    "critical_sections",
+    "PrecedesFunction",
+    "RSCS",
+    "fundamental_law_holds",
+    "rcu_fence",
+    "enlarged_pb",
+    "Theorem1Result",
+    "check_theorem1",
+    "check_theorem1_on_program",
+    "inline_rcu",
+    "verify_implementation",
+    "ImplementationReport",
+]

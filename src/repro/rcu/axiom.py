@@ -1,0 +1,42 @@
+"""The RCU axiom (Figure 12).
+
+The axiom requires ``rcu-path`` — a recursively defined relation pairing
+events connected by a non-empty sequence of grace-period and
+critical-section links in which there are *at least as many grace periods
+as critical sections* — to be irreflexive.  The heavy lifting lives in
+:class:`repro.lkmm.model.LkmmRelations`; this module provides the
+standalone entry points used by the RCU experiments and theorem checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.events import Event, SYNC_RCU
+from repro.executions.candidate import CandidateExecution
+from repro.executions.derived import crit_relation
+from repro.lkmm.model import LkmmRelations
+
+
+def grace_periods(execution: CandidateExecution) -> List[Event]:
+    """All ``synchronize_rcu`` events, in (tid, po) order."""
+    return sorted(
+        (e for e in execution.events if e.has_tag(SYNC_RCU)),
+        key=lambda e: (e.tid, e.po_index),
+    )
+
+
+def critical_sections(
+    execution: CandidateExecution,
+) -> List[Tuple[Event, Event]]:
+    """All outermost (lock, unlock) pairs, in (tid, po) order."""
+    return sorted(
+        crit_relation(execution).pairs,
+        key=lambda pair: (pair[0].tid, pair[0].po_index),
+    )
+
+
+def rcu_axiom_holds(execution: CandidateExecution) -> bool:
+    """``irreflexive(rcu-path)`` for this execution."""
+    relations = LkmmRelations(execution, with_rcu=True)
+    return all(a != b for a, b in relations.rcu_path.pairs)

@@ -1,0 +1,89 @@
+"""Mechanised check of Theorem 1 (the RCU guarantee).
+
+    **Theorem 1.** An LK candidate execution satisfies the Pb and RCU
+    axioms iff it satisfies the fundamental law.
+
+The paper proves this on paper (proof online); since our executions are
+finite we can *decide* both sides and compare, which is what these
+helpers do — over single executions, whole programs, or a corpus.  The
+result "has practical significance because it enables tools to embed RCU
+semantics in either of two ways" (Section 4): checking whether a critical
+section spans a grace period (the law) or counting grace periods and
+critical sections along cycles (the axiom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.executions.candidate import CandidateExecution
+from repro.executions.enumerate import candidate_executions
+from repro.litmus.ast import Program
+from repro.lkmm.model import LkmmRelations
+from repro.rcu.axiom import rcu_axiom_holds
+from repro.rcu.law import fundamental_law_holds
+
+
+@dataclass
+class Theorem1Result:
+    """Outcome of checking Theorem 1 on one execution."""
+
+    axioms_hold: bool  # Pb axiom and RCU axiom
+    law_holds: bool
+
+    @property
+    def equivalent(self) -> bool:
+        return self.axioms_hold == self.law_holds
+
+
+def check_theorem1(execution: CandidateExecution) -> Theorem1Result:
+    """Decide both sides of Theorem 1 for one execution."""
+    relations = LkmmRelations(execution, with_rcu=True)
+    pb_holds = relations.pb.is_acyclic()
+    axioms = pb_holds and rcu_axiom_holds(execution)
+    law = bool(fundamental_law_holds(execution))
+    return Theorem1Result(axioms_hold=axioms, law_holds=law)
+
+
+@dataclass
+class Theorem1Summary:
+    """Aggregated Theorem 1 check over many executions."""
+
+    executions: int = 0
+    agreements: int = 0
+    counterexamples: List[CandidateExecution] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.counterexamples
+
+    def describe(self) -> str:
+        status = "holds" if self.holds else "FAILS"
+        return (
+            f"Theorem 1 {status} on {self.agreements}/{self.executions} "
+            f"executions"
+        )
+
+
+def check_theorem1_on_program(
+    program: Program, summary: Optional[Theorem1Summary] = None
+) -> Theorem1Summary:
+    """Check Theorem 1 on every candidate execution of ``program``."""
+    summary = summary or Theorem1Summary()
+    for execution in candidate_executions(program):
+        result = check_theorem1(execution)
+        summary.executions += 1
+        if result.equivalent:
+            summary.agreements += 1
+        else:
+            summary.counterexamples.append(execution)
+    return summary
+
+
+def check_theorem1_on_corpus(programs: Iterable[Program]) -> Theorem1Summary:
+    """Check Theorem 1 over a whole corpus of litmus tests."""
+    summary = Theorem1Summary()
+    for program in programs:
+        check_theorem1_on_program(program, summary)
+    return summary

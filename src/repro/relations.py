@@ -1,0 +1,344 @@
+"""Relational algebra over events.
+
+The cat language (Section 2 of the paper) manipulates two sorts of values:
+*sets of events* and *binary relations over events*.  This module provides
+both, with all the operators the paper's models use: union, intersection,
+difference, complement, inverse, sequence, reflexive/transitive closures,
+cartesian product, and the three constraint checks (`acyclic`,
+`irreflexive`, `empty`).
+
+Relations are immutable; every operator returns a new relation.  Both kinds
+of value carry a *universe* (the event set of the candidate execution) so
+that complement (`~r`) and reflexive closure (`r?`) are well defined.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.events import Event
+
+Pair = Tuple[Event, Event]
+
+
+class EventSet:
+    """An immutable set of events with set-algebra operators."""
+
+    __slots__ = ("events", "universe")
+
+    def __init__(self, events: Iterable[Event], universe: FrozenSet[Event]):
+        self.events: FrozenSet[Event] = frozenset(events)
+        self.universe: FrozenSet[Event] = universe
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventSet):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:
+        names = sorted(repr(e) for e in self.events)
+        return "{" + ", ".join(names) + "}"
+
+    def _wrap(self, events: Iterable[Event]) -> "EventSet":
+        return EventSet(events, self.universe)
+
+    def union(self, other: "EventSet") -> "EventSet":
+        return self._wrap(self.events | other.events)
+
+    def intersection(self, other: "EventSet") -> "EventSet":
+        return self._wrap(self.events & other.events)
+
+    def difference(self, other: "EventSet") -> "EventSet":
+        return self._wrap(self.events - other.events)
+
+    def complement(self) -> "EventSet":
+        return self._wrap(self.universe - self.events)
+
+    def filter(self, predicate: Callable[[Event], bool]) -> "EventSet":
+        return self._wrap(e for e in self.events if predicate(e))
+
+    def is_empty(self) -> bool:
+        return not self.events
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __invert__ = complement
+
+    def identity(self) -> "Relation":
+        """``[S]`` in cat: the identity relation restricted to this set."""
+        return Relation(((e, e) for e in self.events), self.universe)
+
+    def product(self, other: "EventSet") -> "Relation":
+        """``S * T`` in cat: the cartesian product."""
+        return Relation(
+            ((a, b) for a in self.events for b in other.events), self.universe
+        )
+
+    __mul__ = product
+
+
+class Relation:
+    """An immutable binary relation over events.
+
+    Supports the full cat operator suite.  Sequence (``;``) is implemented
+    with a successor index for speed, since models chain long sequences
+    over executions with dozens of events.
+    """
+
+    __slots__ = ("pairs", "universe", "_succ")
+
+    def __init__(self, pairs: Iterable[Pair], universe: FrozenSet[Event]):
+        self.pairs: FrozenSet[Pair] = frozenset(pairs)
+        self.universe: FrozenSet[Event] = universe
+        self._succ: Optional[Dict[Event, Set[Event]]] = None
+
+    # -- basics ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self.pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash(self.pairs)
+
+    def __repr__(self) -> str:
+        shown = sorted(
+            f"({a.label or a.eid},{b.label or b.eid})" for a, b in self.pairs
+        )
+        return "{" + ", ".join(shown) + "}"
+
+    def _wrap(self, pairs: Iterable[Pair]) -> "Relation":
+        return Relation(pairs, self.universe)
+
+    def successors(self) -> Dict[Event, Set[Event]]:
+        """Adjacency index, built lazily and cached."""
+        if self._succ is None:
+            succ: Dict[Event, Set[Event]] = {}
+            for a, b in self.pairs:
+                succ.setdefault(a, set()).add(b)
+            self._succ = succ
+        return self._succ
+
+    # -- set algebra ----------------------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        return self._wrap(self.pairs | other.pairs)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        return self._wrap(self.pairs & other.pairs)
+
+    def difference(self, other: "Relation") -> "Relation":
+        return self._wrap(self.pairs - other.pairs)
+
+    def complement(self) -> "Relation":
+        full = {(a, b) for a in self.universe for b in self.universe}
+        return self._wrap(full - self.pairs)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __invert__ = complement
+
+    # -- relational operators -------------------------------------------
+
+    def inverse(self) -> "Relation":
+        """``r^-1``."""
+        return self._wrap((b, a) for a, b in self.pairs)
+
+    def sequence(self, other: "Relation") -> "Relation":
+        """``r1 ; r2`` — relational composition."""
+        succ = other.successors()
+        out: Set[Pair] = set()
+        for a, b in self.pairs:
+            for c in succ.get(b, ()):
+                out.add((a, c))
+        return self._wrap(out)
+
+    def optional(self) -> "Relation":
+        """``r?`` — reflexive closure over the universe."""
+        return self._wrap(self.pairs | {(e, e) for e in self.universe})
+
+    def transitive_closure(self) -> "Relation":
+        """``r+``."""
+        succ = {a: set(bs) for a, bs in self.successors().items()}
+        # Floyd-Warshall style saturation via BFS from every source node.
+        closure: Set[Pair] = set()
+        for start in succ:
+            seen: Set[Event] = set()
+            stack = list(succ[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(succ.get(node, ()))
+            closure.update((start, node) for node in seen)
+        return self._wrap(closure)
+
+    def reflexive_transitive_closure(self) -> "Relation":
+        """``r*``."""
+        return self._wrap(
+            self.transitive_closure().pairs | {(e, e) for e in self.universe}
+        )
+
+    # -- restriction helpers ---------------------------------------------
+
+    def restrict(
+        self,
+        domain: Optional[EventSet] = None,
+        range_: Optional[EventSet] = None,
+    ) -> "Relation":
+        """Restrict domain and/or range to the given event sets."""
+        pairs = self.pairs
+        if domain is not None:
+            pairs = {(a, b) for a, b in pairs if a in domain}
+        if range_ is not None:
+            pairs = {(a, b) for a, b in pairs if b in range_}
+        return self._wrap(pairs)
+
+    def domain(self) -> EventSet:
+        return EventSet((a for a, _ in self.pairs), self.universe)
+
+    def range(self) -> EventSet:
+        return EventSet((b for _, b in self.pairs), self.universe)
+
+    def filter(self, predicate: Callable[[Event, Event], bool]) -> "Relation":
+        return self._wrap((a, b) for a, b in self.pairs if predicate(a, b))
+
+    # -- checks -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.pairs
+
+    def is_irreflexive(self) -> bool:
+        return all(a is not b and a != b for a, b in self.pairs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a directed graph, has no cycle."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> Optional[List[Event]]:
+        """Return one cycle as ``[e0, e1, ..., e0]``, or ``None``.
+
+        Used both for the acyclicity checks of the model and for producing
+        the human-readable explanations of *why* an execution is forbidden
+        (:mod:`repro.lkmm.explain`).
+        """
+        succ = self.successors()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Event, int] = {}
+        parent: Dict[Event, Event] = {}
+
+        for root in succ:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[Event, Iterator[Event]]] = [
+                (root, iter(succ.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [nxt, node]
+                        cursor = node
+                        while cursor != nxt:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        # cycle currently [nxt, ..., node, nxt] reversed;
+                        # normalise to start and end at the same event.
+                        if cycle[0] != cycle[-1]:
+                            cycle.append(cycle[0])
+                        return cycle
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_total_order_on(self, events: Iterable[Event]) -> bool:
+        """True iff the relation is a strict total order on ``events``."""
+        events = list(events)
+        if not self.is_acyclic():
+            return False
+        pairs = self.pairs
+        for i, a in enumerate(events):
+            for b in events[i + 1:]:
+                if (a, b) not in pairs and (b, a) not in pairs:
+                    return False
+        return True
+
+
+def empty_relation(universe: FrozenSet[Event]) -> Relation:
+    return Relation((), universe)
+
+
+def relation_from_order(order: Sequence[Event], universe: FrozenSet[Event]) -> Relation:
+    """Strict total order relation from a sequence (earlier -> later)."""
+    pairs = [
+        (order[i], order[j])
+        for i in range(len(order))
+        for j in range(i + 1, len(order))
+    ]
+    return Relation(pairs, universe)
+
+
+def least_fixpoint(
+    step: Callable[[Relation], Relation], universe: FrozenSet[Event]
+) -> Relation:
+    """Least fixpoint of a monotone function on relations.
+
+    Used for cat ``let rec`` definitions such as the paper's ``rcu-path``
+    (Figure 12).  Iteration starts from the empty relation and stops when
+    one application adds nothing; monotonicity of the cat operators used in
+    recursive definitions guarantees termination on finite universes.
+    """
+    current = empty_relation(universe)
+    while True:
+        nxt = step(current)
+        if nxt.pairs == current.pairs:
+            return current
+        current = nxt

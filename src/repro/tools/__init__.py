@@ -1,0 +1,1 @@
+"""Command-line tools: ``repro-herd``, ``repro-klitmus``, ``repro-diy``."""

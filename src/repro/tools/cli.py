@@ -1,0 +1,160 @@
+"""Command-line entry points mirroring the paper's tool-suite.
+
+* ``repro-herd`` — run litmus tests against a model (like herd7):
+  ``repro-herd --model lkmm MP+wmb+rmb test.litmus ...``
+* ``repro-klitmus`` — run tests on a simulated machine, many times (like
+  klitmus): ``repro-klitmus --arch Power8 --runs 10000 SB``
+* ``repro-diy`` — generate a litmus test from a cycle of edges (like
+  diy7): ``repro-diy Rfe RmbdRR Fre WmbdWW``
+
+Test arguments are either names from the built-in library or paths to
+litmus files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.cat import load_model
+from repro.herd import run_litmus
+from repro.hardware import run_klitmus
+from repro.hardware.archspec import ARCHITECTURES
+from repro.litmus import library
+from repro.litmus.ast import Program
+from repro.litmus.parser import parse_litmus
+from repro.lkmm import LinuxKernelModel, explain_forbidden
+
+
+def _resolve_tests(names: List[str]) -> List[Program]:
+    programs = []
+    for name in names:
+        path = Path(name)
+        if path.exists():
+            programs.append(parse_litmus(path.read_text()))
+        else:
+            programs.append(library.get(name))
+    return programs
+
+
+def _resolve_model(name: str):
+    if name in ("lkmm-native", "native"):
+        return LinuxKernelModel()
+    return load_model(name)
+
+
+def herd_main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-herd",
+        description="Run litmus tests against a consistency model.",
+    )
+    parser.add_argument(
+        "--model",
+        default="lkmm",
+        help="model name: lkmm (cat), lkmm-native, lkmm-core, c11, sc, "
+        "tso, power, armv8, armv7, alpha",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="explain why the target behaviour is forbidden (LKMM only)",
+    )
+    parser.add_argument(
+        "--states",
+        action="store_true",
+        help="print the histogram of reachable final states, herd-style",
+    )
+    parser.add_argument("tests", nargs="+", help="library names or file paths")
+    args = parser.parse_args(argv)
+
+    model = _resolve_model(args.model)
+    for program in _resolve_tests(args.tests):
+        result = run_litmus(model, program)
+        print(result.describe())
+        if args.states:
+            print(f"States {len(result.states)}")
+            for state in sorted(result.states, key=repr):
+                registers = "; ".join(
+                    f"{tid}:{name}={value!r}"
+                    for (tid, name), value in sorted(state.registers.items())
+                    if not name.startswith("__")
+                )
+                print(f"  {registers}")
+            print(f"Observation {program.name} {result.observation}")
+        if args.explain and result.verdict == "Forbid":
+            if result.forbidden_witness is not None:
+                print(explain_forbidden(result.forbidden_witness))
+    return 0
+
+
+def klitmus_main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-klitmus",
+        description="Run litmus tests on a simulated machine, klitmus-style.",
+    )
+    parser.add_argument(
+        "--arch",
+        default="Power8",
+        choices=sorted(ARCHITECTURES),
+        help="simulated machine",
+    )
+    parser.add_argument("--runs", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--histogram", action="store_true", help="print the full histogram"
+    )
+    parser.add_argument("tests", nargs="+", help="library names or file paths")
+    args = parser.parse_args(argv)
+
+    for program in _resolve_tests(args.tests):
+        result = run_klitmus(
+            program, args.arch, runs=args.runs, seed=args.seed
+        )
+        if args.histogram:
+            print(result.describe())
+        else:
+            print(
+                f"{program.name} on {args.arch}: {result.summary()} "
+                "target observations"
+            )
+    return 0
+
+
+def diy_main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-diy",
+        description="Generate a litmus test from a cycle of relaxation edges.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the generated test against the LK model",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the generated test as a C litmus file",
+    )
+    parser.add_argument("edges", nargs="+", help="e.g. Rfe RmbdRR Fre WmbdWW")
+    args = parser.parse_args(argv)
+
+    from repro.diy import generate
+    from repro.litmus.writer import write_litmus
+
+    program = generate(args.edges)
+    if args.output:
+        Path(args.output).write_text(write_litmus(program))
+        print(f"wrote {program.name} to {args.output}")
+    else:
+        print(write_litmus(program), end="")
+    if args.check:
+        result = run_litmus(LinuxKernelModel(), program)
+        print(result.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(herd_main())

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import load_model
+from repro.litmus import library
+from repro.lkmm import LinuxKernelModel
+
+
+@pytest.fixture(scope="session")
+def lkmm():
+    """The native-Python LK model."""
+    return LinuxKernelModel()
+
+
+@pytest.fixture(scope="session")
+def lkmm_cat():
+    """The LK model as interpreted from lkmm.cat."""
+    return load_model("lkmm")
+
+
+@pytest.fixture(scope="session")
+def c11():
+    return load_model("c11")
+
+
+@pytest.fixture(scope="session")
+def mp_program():
+    return library.get("MP+wmb+rmb")
+
+
+@pytest.fixture(scope="session")
+def sb_program():
+    return library.get("SB")

@@ -1,0 +1,112 @@
+"""Tests for the axiomatic architecture models against Table 5's shape."""
+
+import pytest
+
+from repro.cat import load_model
+from repro.hardware import compile_program, get_arch
+from repro.herd import run_litmus
+from repro.litmus import library
+
+
+def arch_verdict(name, arch_name):
+    arch = get_arch(arch_name)
+    compiled = compile_program(library.get(name), arch, rcu="error")
+    return run_litmus(load_model(arch.cat_model), compiled).verdict
+
+
+#: Expected verdicts implied by Table 5: a non-zero observation count
+#: means the architecture must Allow; fenced rows must Forbid everywhere.
+TABLE5_ARCH_EXPECTATIONS = {
+    "LB": {"Power8": "Allow", "ARMv8": "Allow", "ARMv7": "Allow", "x86": "Forbid"},
+    "LB+ctrl+mb": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "WRC": {"Power8": "Allow", "ARMv8": "Allow", "ARMv7": "Allow", "x86": "Forbid"},
+    "WRC+po-rel+rmb": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "SB": {a: "Allow" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "SB+mbs": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "MP": {"Power8": "Allow", "ARMv8": "Allow", "ARMv7": "Allow", "x86": "Forbid"},
+    "MP+wmb+rmb": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "PeterZ-No-Synchro": {a: "Allow" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "PeterZ": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "RWC": {a: "Allow" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+    "RWC+mbs": {a: "Forbid" for a in ("Power8", "ARMv8", "ARMv7", "x86")},
+}
+
+
+class TestTable5Shape:
+    @pytest.mark.parametrize("test_name", sorted(TABLE5_ARCH_EXPECTATIONS))
+    def test_row(self, test_name):
+        for arch_name, expected in TABLE5_ARCH_EXPECTATIONS[test_name].items():
+            assert arch_verdict(test_name, arch_name) == expected, (
+                f"{test_name} on {arch_name}"
+            )
+
+
+class TestArchCharacter:
+    def test_tso_preserves_everything_but_wr(self):
+        # On x86 only store buffering is visible.
+        assert arch_verdict("SB", "x86") == "Allow"
+        assert arch_verdict("MP", "x86") == "Forbid"
+        assert arch_verdict("LB", "x86") == "Forbid"
+        assert arch_verdict("2+2W", "x86") == "Forbid"
+
+    def test_power_respects_dependencies(self):
+        assert arch_verdict("LB+datas", "Power8") == "Forbid"
+        # Address dependencies order reads on Power — unlike Alpha.
+        assert arch_verdict("MP+wmb+addr", "Power8") == "Forbid"
+
+    def test_alpha_breaks_address_dependencies(self):
+        # The famous one: dependent loads may be reordered (Section 3.2.2).
+        assert arch_verdict("MP+wmb+addr", "Alpha") == "Allow"
+        # smp_read_barrier_depends (mb on Alpha) restores the ordering.
+        assert arch_verdict("MP+wmb+addr-rbdep", "Alpha") == "Forbid"
+
+    def test_alpha_respects_dependencies_to_writes(self):
+        assert arch_verdict("LB+datas", "Alpha") == "Forbid"
+
+    def test_armv8_release_acquire(self):
+        assert arch_verdict("MP+po-rel+acq", "ARMv8") == "Forbid"
+
+    def test_lwsync_is_not_a_full_fence(self):
+        # Power: wmb (lwsync) both sides does not forbid SB.
+        from repro.litmus import dsl
+
+        program = dsl.program(
+            "SB+wmbs-ish",
+            dsl.thread(
+                dsl.write_once("x", 1), dsl.smp_wmb(), dsl.read_once("r0", "y")
+            ),
+            dsl.thread(
+                dsl.write_once("y", 1), dsl.smp_wmb(), dsl.read_once("r0", "x")
+            ),
+            condition=dsl.exists_regs((0, "r0", 0), (1, "r0", 0)),
+        )
+        arch = get_arch("Power8")
+        compiled = compile_program(program, arch)
+        assert run_litmus(load_model("power"), compiled).verdict == "Allow"
+
+    def test_sc_model_forbids_all_weakness(self):
+        for name in ("SB", "MP", "LB", "WRC", "RWC", "2+2W"):
+            assert arch_verdict(name, "SC") == "Forbid"
+
+    def test_multicopy_atomicity_discriminator(self):
+        # Plain IRIW is allowed everywhere weak (the readers may reorder
+        # locally).  WRC with dependencies on both readers removes the
+        # local reordering, leaving only write-propagation asymmetry:
+        # Power (not multicopy atomic) still allows it, ARMv8 (MCA)
+        # forbids it.
+        from repro.diy import generate
+
+        wrc_deps = generate(
+            ["Rfe", "DpDatadW", "Rfe", "DpAddrdR", "Fre"], name="WRC+deps"
+        )
+        power = compile_program(wrc_deps, get_arch("Power8"), rcu="error")
+        armv8 = compile_program(wrc_deps, get_arch("ARMv8"), rcu="error")
+        assert run_litmus(load_model("power"), power).verdict == "Allow"
+        assert run_litmus(load_model("armv8"), armv8).verdict == "Forbid"
+        # Both architectures allow plain IRIW.
+        assert arch_verdict("IRIW", "Power8") == "Allow"
+        assert arch_verdict("IRIW", "ARMv8") == "Allow"
+
+    def test_atomicity_everywhere(self):
+        for arch in ("x86", "Power8", "ARMv8", "ARMv7", "Alpha", "SC"):
+            assert arch_verdict("At-inc", arch) == "Forbid"

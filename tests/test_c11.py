@@ -1,0 +1,95 @@
+"""Tests for the C11 comparison model (Section 5.2)."""
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.herd import run_litmus
+from repro.litmus import library
+
+
+class TestTable5C11Column:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in library.TABLE5 if library.PAPER_VERDICTS[n]["C11"]],
+    )
+    def test_verdicts_match_paper(self, c11, name):
+        expected = library.PAPER_VERDICTS[name]["C11"]
+        assert run_litmus(c11, library.get(name)).verdict == expected
+
+
+class TestLkVsC11Differences:
+    """The three qualitative differences Section 5.2 highlights."""
+
+    def test_smp_mb_restores_sc_but_c11_fence_does_not(self, lkmm, c11):
+        # Figure 13: RWC+mbs — LK forbids, C11 allows.
+        program = library.get("RWC+mbs")
+        assert run_litmus(lkmm, program).verdict == "Forbid"
+        assert run_litmus(c11, program).verdict == "Allow"
+
+    def test_lk_respects_control_dependencies(self, lkmm, c11):
+        # Figure 4: LB+ctrl+mb — LK forbids, C11 allows.
+        program = library.get("LB+ctrl+mb")
+        assert run_litmus(lkmm, program).verdict == "Forbid"
+        assert run_litmus(c11, program).verdict == "Allow"
+
+    def test_no_c11_equivalent_of_wmb(self, lkmm, c11):
+        # Figure 14: WRC+wmb+acq — C11 forbids (release fence), LK allows.
+        program = library.get("WRC+wmb+acq")
+        assert run_litmus(lkmm, program).verdict == "Allow"
+        assert run_litmus(c11, program).verdict == "Forbid"
+
+    def test_peterz_allowed_by_c11(self, lkmm, c11):
+        program = library.get("PeterZ")
+        assert run_litmus(lkmm, program).verdict == "Forbid"
+        assert run_litmus(c11, program).verdict == "Allow"
+
+
+class TestC11Internals:
+    def test_coherence_holds(self, c11):
+        for name in ("CoRR", "CoWW", "CoWR", "CoRW"):
+            assert run_litmus(c11, library.get(name)).verdict == "Forbid"
+
+    def test_atomicity_holds(self, c11):
+        assert run_litmus(c11, library.get("At-inc")).verdict == "Forbid"
+
+    def test_release_acquire_synchronises(self, c11):
+        assert run_litmus(c11, library.get("MP+po-rel+acq")).verdict == "Forbid"
+
+    def test_sb_with_sc_fences_forbidden(self, c11):
+        # The one seq_cst-fence guarantee original C11 does give.
+        assert run_litmus(c11, library.get("SB+mbs")).verdict == "Forbid"
+
+    def test_relaxed_lb_allowed(self, c11):
+        # C11 has no out-of-thin-air protection for relaxed atomics.
+        assert run_litmus(c11, library.get("LB")).verdict == "Allow"
+
+    def test_c11_weaker_than_lk_on_corpus(self, lkmm, c11):
+        """On the whole non-RCU corpus, count disagreements — they must
+        only ever be on the documented difference tests."""
+        expected_disagreements = {
+            # The LK respects dependencies; C11 does not.
+            "LB+ctrl+mb", "LB+datas", "S+wmb+data", "MP+wmb+addr-acq",
+            # smp_mb restores SC; original C11 seq_cst fences do not
+            # (they also never constrain modification order — the known
+            # C++11 defect later fixed by P0668).
+            "RWC+mbs", "PeterZ", "IRIW+mbs", "2+2W+mbs",
+            # smp_wmb has no C11 equivalent (Figure 14).
+            "WRC+wmb+acq",
+            # rfi-rel-acq is an LK-specific guarantee.
+            "MP+po-rel+rfi-acq",
+            # A relaxed read of a release write does not synchronise in
+            # C11, so the A-cumulative release chain has no counterpart.
+            "ISA2+rel+rel+acq",
+            # C++11 seq_cst fences never constrain modification order.
+            "R+mbs", "3.2W+mbs",
+        }
+        disagreements = set()
+        for name in library.all_names():
+            if name.startswith("RCU") or "sync" in name or name == "lock-mutex":
+                continue  # RCU primitives have no C11 counterpart
+            program = library.get(name)
+            a = run_litmus(lkmm, program).verdict
+            b = run_litmus(c11, program).verdict
+            if a != b:
+                disagreements.add(name)
+        assert disagreements <= expected_disagreements, disagreements

@@ -1,0 +1,163 @@
+"""Tests for the cat evaluator."""
+
+import pytest
+
+from repro.cat import CatModel, CatError, load_model, builtin_environment
+from repro.executions import candidate_executions
+from repro.litmus import dsl, library
+from repro.relations import EventSet, Relation
+
+
+def first_execution(program):
+    return next(iter(candidate_executions(program)))
+
+
+@pytest.fixture(scope="module")
+def mp_exec():
+    return first_execution(library.get("MP+wmb+rmb"))
+
+
+def check(source, execution):
+    return CatModel.from_source(source).check(execution)
+
+
+class TestBuiltins:
+    def test_base_relations_present(self, mp_exec):
+        env = builtin_environment(mp_exec)
+        for name in ("po", "rf", "co", "addr", "data", "ctrl", "rmw",
+                     "loc", "int", "ext", "id", "crit"):
+            assert isinstance(env[name], Relation), name
+        for name in ("_", "R", "W", "F", "M", "IW"):
+            assert isinstance(env[name], EventSet), name
+
+    def test_tag_sets(self, mp_exec):
+        env = builtin_environment(mp_exec)
+        assert len(env["Wmb"]) == 1
+        assert len(env["Rmb"]) == 1
+        assert len(env["Acquire"]) == 0
+
+    def test_empty_universe_sets_defined(self, mp_exec):
+        env = builtin_environment(mp_exec)
+        assert env["Sync-rcu"].is_empty()
+
+
+class TestEvaluation:
+    def test_trivial_pass(self, mp_exec):
+        assert check("acyclic po as ok", mp_exec).allowed
+
+    def test_trivial_fail(self, mp_exec):
+        result = check("empty po as bad", mp_exec)
+        assert not result.allowed
+        assert result.violations[0].axiom == "bad"
+
+    def test_let_binding_used_by_check(self, mp_exec):
+        source = "let fr = rf^-1 ; co\nacyclic po | rf | fr | co as sc"
+        # MP+wmb+rmb's first candidate (both reads read 0) is SC here.
+        assert check(source, mp_exec).allowed
+
+    def test_function_application(self, mp_exec):
+        source = "let twice(r) = r ; r\nempty twice(rf) as no-rf-chains"
+        assert check(source, mp_exec).allowed
+
+    def test_fencerel_builtin(self, mp_exec):
+        source = "empty fencerel(Wmb) as has-wmb"
+        result = check(source, mp_exec)
+        assert not result.allowed  # there IS a wmb pair
+
+    def test_set_operations(self, mp_exec):
+        assert check("empty R & W as disjoint", mp_exec).allowed
+        result = check("empty R | W as accesses", mp_exec)
+        assert not result.allowed
+
+    def test_cartesian_product(self, mp_exec):
+        source = "empty (rf & (W * W)) as rf-to-writes"
+        assert check(source, mp_exec).allowed
+
+    def test_set_identity_restriction(self, mp_exec):
+        source = "empty ([W] ; po ; [W]) \\ po as sanity"
+        assert check(source, mp_exec).allowed
+
+    def test_inverse_and_sequence(self, mp_exec):
+        source = "irreflexive rf ; rf^-1 ; co as coherent-sources"
+        # rf;rf^-1 is the identity on sourced writes; composing with co is
+        # irreflexive since co is.
+        assert check(source, mp_exec).allowed
+
+    def test_complement(self, mp_exec):
+        source = "empty ~(_ * _) as full-universe"
+        assert check(source, mp_exec).allowed
+
+    def test_recursive_definition_fixpoint(self, mp_exec):
+        source = (
+            "let rec tc = po | (tc ; tc)\n"
+            "empty tc \\ po+ as closure-matches"
+        )
+        assert check(source, mp_exec).allowed
+
+    def test_mutually_recursive_definitions(self, mp_exec):
+        source = (
+            "let rec a = po | (b ; b) and b = a\n"
+            "empty a \\ po+ as mutual"
+        )
+        assert check(source, mp_exec).allowed
+
+    def test_unbound_identifier_raises(self, mp_exec):
+        with pytest.raises(CatError):
+            check("acyclic nonexistent as x", mp_exec)
+
+    def test_unknown_function_raises(self, mp_exec):
+        with pytest.raises(CatError):
+            check("acyclic mystery(po) as x", mp_exec)
+
+    def test_flag_does_not_forbid(self, mp_exec):
+        result = check("flag empty po as warn\nacyclic po as ok", mp_exec)
+        assert result.allowed
+        assert result.flags and result.flags[0].axiom == "warn"
+
+    def test_negated_empty(self, mp_exec):
+        assert check("~empty po as nonempty", mp_exec).allowed
+
+    def test_violation_carries_cycle_witness(self):
+        program = library.get("SB")
+        source = "acyclic po | rf | (rf^-1 ; co) | co as sc"
+        model = CatModel.from_source(source)
+        violating = [
+            x for x in candidate_executions(program)
+            if not model.check(x).allowed
+        ]
+        assert violating
+        violation = model.check(violating[0]).violations[0]
+        assert violation.kind == "acyclic"
+        assert len(violation.witness) >= 3
+
+
+class TestLoadModel:
+    def test_load_known_models(self):
+        for name in ("lkmm", "c11", "sc", "tso"):
+            model = load_model(name)
+            assert model.name
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(CatError):
+            load_model("not-a-model")
+
+
+class TestShippedModelSanity:
+    def test_sc_forbids_sb_weak_outcome(self):
+        sc = load_model("sc")
+        program = library.get("SB")
+        weak = [
+            x
+            for x in candidate_executions(program)
+            if program.condition.evaluate(x.final_state)
+        ]
+        assert weak
+        assert all(not sc.check(x).allowed for x in weak)
+
+    def test_sc_allows_interleavings(self):
+        sc = load_model("sc")
+        program = library.get("SB")
+        allowed = [
+            x for x in candidate_executions(program) if sc.check(x).allowed
+        ]
+        assert len(allowed) == 3  # all except the store-buffering one

@@ -1,0 +1,143 @@
+"""Tests for the cat lexer and parser."""
+
+import pytest
+
+from repro.cat import ast as C
+from repro.cat.parser import CatParseError, parse_cat
+
+
+def parse_expr(text):
+    """Parse `let e = <text>` and return the expression."""
+    cat_file = parse_cat(f"let e = {text}")
+    (let,) = cat_file.statements
+    return let.bindings[0].expr
+
+
+class TestHeader:
+    def test_quoted_model_name(self):
+        cat_file = parse_cat('"My model"\nlet a = po')
+        assert cat_file.name == "My model"
+
+    def test_bare_model_name(self):
+        cat_file = parse_cat("LKMM\nlet a = po")
+        assert cat_file.name == "LKMM"
+
+    def test_default_name(self):
+        assert parse_cat("let a = po", default_name="x").name == "x"
+
+
+class TestExpressions:
+    def test_identifier(self):
+        assert parse_expr("po") == C.Id("po")
+
+    def test_hyphenated_identifier(self):
+        assert parse_expr("po-loc") == C.Id("po-loc")
+
+    def test_union(self):
+        assert parse_expr("a | b") == C.Union(C.Id("a"), C.Id("b"))
+
+    def test_sequence(self):
+        assert parse_expr("a ; b") == C.Seq(C.Id("a"), C.Id("b"))
+
+    def test_difference(self):
+        assert parse_expr("a \\ b") == C.Diff(C.Id("a"), C.Id("b"))
+
+    def test_intersection(self):
+        assert parse_expr("a & b") == C.Inter(C.Id("a"), C.Id("b"))
+
+    def test_precedence_union_loosest(self):
+        expr = parse_expr("a | b ; c")
+        assert expr == C.Union(C.Id("a"), C.Seq(C.Id("b"), C.Id("c")))
+
+    def test_precedence_seq_over_diff(self):
+        expr = parse_expr("a ; b \\ c")
+        assert expr == C.Seq(C.Id("a"), C.Diff(C.Id("b"), C.Id("c")))
+
+    def test_postfix_operators(self):
+        assert parse_expr("a?") == C.Opt(C.Id("a"))
+        assert parse_expr("a+") == C.Plus(C.Id("a"))
+        assert parse_expr("a^-1") == C.Inverse(C.Id("a"))
+
+    def test_star_postfix_before_operator(self):
+        assert parse_expr("a* ; b") == C.Seq(C.Star(C.Id("a")), C.Id("b"))
+
+    def test_star_cartesian_between_operands(self):
+        assert parse_expr("A * B") == C.Cartesian(C.Id("A"), C.Id("B"))
+
+    def test_star_postfix_at_end_of_statement(self):
+        cat_file = parse_cat("let a = b*\nacyclic a as x")
+        assert cat_file.statements[0].bindings[0].expr == C.Star(C.Id("b"))
+
+    def test_bracket_set_identity(self):
+        assert parse_expr("[W]") == C.SetId(C.Id("W"))
+
+    def test_complement(self):
+        assert parse_expr("~a") == C.Compl(C.Id("a"))
+
+    def test_empty_literal(self):
+        assert parse_expr("0") == C.EmptyRel()
+
+    def test_application(self):
+        expr = parse_expr("f(a, b)")
+        assert expr == C.App("f", (C.Id("a"), C.Id("b")))
+
+    def test_nested_parentheses(self):
+        expr = parse_expr("((a | b) ; c)?")
+        assert isinstance(expr, C.Opt)
+
+    def test_chained_postfix(self):
+        assert parse_expr("a^-1?") == C.Opt(C.Inverse(C.Id("a")))
+
+
+class TestStatements:
+    def test_let(self):
+        (let,) = parse_cat("let x = po").statements
+        assert not let.recursive
+        assert let.bindings[0].name == "x"
+
+    def test_let_rec_and(self):
+        (let,) = parse_cat("let rec a = b and b = a").statements
+        assert let.recursive
+        assert [b.name for b in let.bindings] == ["a", "b"]
+
+    def test_function_definition(self):
+        (let,) = parse_cat("let f(r) = r ; r").statements
+        assert let.bindings[0].params == ("r",)
+
+    def test_checks(self):
+        text = "acyclic po as c1\nirreflexive po\nempty po as c3"
+        checks = parse_cat(text).statements
+        assert [c.kind for c in checks] == ["acyclic", "irreflexive", "empty"]
+        assert checks[0].name == "c1"
+        assert checks[1].name is None
+
+    def test_flag_check(self):
+        (check,) = parse_cat("flag ~empty po as warn").statements
+        assert check.flag and check.negated
+
+    def test_comments_stripped(self):
+        text = "(* a\nmultiline comment *) let x = po // trailing"
+        (let,) = parse_cat(text).statements
+        assert let.bindings[0].name == "x"
+
+    def test_error_on_garbage(self):
+        with pytest.raises(CatParseError):
+            parse_cat("let = po")
+
+    def test_error_on_unknown_statement(self):
+        with pytest.raises(CatParseError):
+            parse_cat("frobnicate po")
+
+
+class TestShippedModels:
+    @pytest.mark.parametrize(
+        "name",
+        ["lkmm", "lkmm-core", "sc", "tso", "power", "armv8", "armv7", "alpha", "c11"],
+    )
+    def test_model_file_parses(self, name):
+        from repro.cat.eval import MODELS_DIR
+
+        cat_file = parse_cat((MODELS_DIR / f"{name}.cat").read_text())
+        assert cat_file.statements
+        kinds = {s.kind for s in cat_file.statements if isinstance(s, C.Check)}
+        assert kinds  # every model has at least one check

@@ -1,0 +1,85 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tools.cli import diy_main, herd_main, klitmus_main
+
+
+class TestHerdCli:
+    def test_library_test_by_name(self, capsys):
+        assert herd_main(["--model", "lkmm-native", "MP+wmb+rmb"]) == 0
+        out = capsys.readouterr().out
+        assert "MP+wmb+rmb" in out and "Forbid" in out
+
+    def test_cat_model_by_name(self, capsys):
+        assert herd_main(["--model", "c11", "RWC+mbs"]) == 0
+        assert "Allow" in capsys.readouterr().out
+
+    def test_file_path(self, tmp_path, capsys):
+        litmus = tmp_path / "t.litmus"
+        litmus.write_text(
+            "C filetest\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r0=1)\n"
+        )
+        assert herd_main(["--model", "lkmm-native", str(litmus)]) == 0
+        assert "filetest" in capsys.readouterr().out
+
+    def test_explain_flag(self, capsys):
+        assert herd_main(
+            ["--model", "lkmm-native", "--explain", "SB+mbs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "violated axiom" in out
+
+    def test_multiple_tests(self, capsys):
+        assert herd_main(["--model", "lkmm-native", "SB", "MP"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Allow") == 2
+
+
+class TestKlitmusCli:
+    def test_basic(self, capsys):
+        assert klitmus_main(
+            ["--arch", "x86", "--runs", "200", "SB"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SB on x86" in out and "/200" in out
+
+    def test_histogram(self, capsys):
+        assert klitmus_main(
+            ["--arch", "Power8", "--runs", "100", "--histogram", "MP"]
+        ) == 0
+        assert "r0" in capsys.readouterr().out
+
+
+class TestDiyCli:
+    def test_generate_prints_litmus(self, capsys):
+        assert diy_main(["Rfe", "RmbdRR", "Fre", "WmbdWW"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("C ")
+        assert "P0(" in out and "P1(" in out and "exists" in out
+
+    def test_generate_and_check(self, capsys):
+        assert diy_main(["--check", "Rfe", "RmbdRR", "Fre", "WmbdWW"]) == 0
+        assert "Forbid" in capsys.readouterr().out
+
+    def test_output_file_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "generated.litmus"
+        assert diy_main(
+            ["-o", str(out_file), "Rfe", "RmbdRR", "Fre", "WmbdWW"]
+        ) == 0
+        # The written file is a valid litmus test usable by repro-herd.
+        assert herd_main(["--model", "lkmm-native", str(out_file)]) == 0
+        assert "Forbid" in capsys.readouterr().out
+
+
+class TestHerdStates:
+    def test_states_flag(self, capsys):
+        assert herd_main(
+            ["--model", "lkmm-native", "--states", "MP+wmb+rmb"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "States 3" in out
+        assert "Observation MP+wmb+rmb Never" in out

@@ -1,0 +1,133 @@
+"""Tests for the LK -> architecture compiler."""
+
+import pytest
+
+from repro.hardware import CompileError, compile_program, get_arch
+from repro.hardware.archspec import ARCHITECTURES, TABLE5_ARCHS
+from repro.litmus import dsl, library
+from repro.litmus.ast import Fence, Load, Rmw, Store
+
+
+def compile_thread(instructions, arch_name, rcu="keep"):
+    program = dsl.program("t", dsl.thread(*instructions))
+    compiled = compile_program(program, get_arch(arch_name), rcu=rcu)
+    return list(compiled.threads[0].body)
+
+
+class TestFenceMapping:
+    def test_x86_mb_is_mfence(self):
+        (fence,) = compile_thread([dsl.smp_mb()], "x86")
+        assert isinstance(fence, Fence) and fence.tag == "mfence"
+
+    def test_x86_rmb_wmb_compile_away(self):
+        assert compile_thread([dsl.smp_rmb()], "x86") == []
+        assert compile_thread([dsl.smp_wmb()], "x86") == []
+
+    def test_power_fences(self):
+        assert compile_thread([dsl.smp_mb()], "Power8")[0].tag == "sync"
+        assert compile_thread([dsl.smp_wmb()], "Power8")[0].tag == "lwsync"
+        assert compile_thread([dsl.smp_rmb()], "Power8")[0].tag == "lwsync"
+
+    def test_armv8_fences(self):
+        assert compile_thread([dsl.smp_mb()], "ARMv8")[0].tag == "dmb"
+        assert compile_thread([dsl.smp_rmb()], "ARMv8")[0].tag == "dmb-ld"
+        assert compile_thread([dsl.smp_wmb()], "ARMv8")[0].tag == "dmb-st"
+
+    def test_rb_dep_only_alpha(self):
+        # The raison d'être of smp_read_barrier_depends (Section 3.2.2).
+        assert compile_thread([dsl.smp_read_barrier_depends()], "Alpha")[0].tag == "alpha-mb"
+        for arch in ("x86", "Power8", "ARMv8", "ARMv7"):
+            assert compile_thread([dsl.smp_read_barrier_depends()], arch) == []
+
+
+class TestAcquireRelease:
+    def test_x86_acquire_is_plain_load(self):
+        (load,) = compile_thread([dsl.load_acquire("r0", "x")], "x86")
+        assert isinstance(load, Load) and load.tag == "plain"
+
+    def test_power_acquire_is_load_lwsync(self):
+        load, fence = compile_thread([dsl.load_acquire("r0", "x")], "Power8")
+        assert load.tag == "plain" and fence.tag == "lwsync"
+
+    def test_power_release_is_lwsync_store(self):
+        fence, store = compile_thread([dsl.store_release("x", 1)], "Power8")
+        assert fence.tag == "lwsync" and store.tag == "plain"
+
+    def test_armv8_acquire_release_instructions(self):
+        (load,) = compile_thread([dsl.load_acquire("r0", "x")], "ARMv8")
+        assert load.tag == "ldar"
+        (store,) = compile_thread([dsl.store_release("x", 1)], "ARMv8")
+        assert store.tag == "stlr"
+
+    def test_armv7_acquire_uses_full_dmb(self):
+        # "ARMv7 implements smp_load_acquire with a full fence for lack of
+        # better means" (Section 3.2.2).
+        load, fence = compile_thread([dsl.load_acquire("r0", "x")], "ARMv7")
+        assert load.tag == "plain" and fence.tag == "dmb"
+
+    def test_rcu_dereference_on_alpha_gets_barrier(self):
+        body = compile_thread([dsl.rcu_dereference("r0", "p")], "Alpha")
+        assert body[0].tag == "plain"
+        assert body[1].tag == "alpha-mb"
+
+
+class TestRmwCompilation:
+    def test_full_xchg_bracketed(self):
+        body = compile_thread([dsl.xchg("r0", "x", 1)], "Power8")
+        assert body[0].tag == "sync"
+        assert isinstance(body[1], Rmw) and body[1].variant == "xchg_relaxed"
+        assert body[2].tag == "sync"
+
+    def test_relaxed_xchg_bare(self):
+        body = compile_thread([dsl.xchg_relaxed("r0", "x", 1)], "ARMv8")
+        assert len(body) == 1 and isinstance(body[0], Rmw)
+
+    def test_spin_lock_keeps_required_value(self):
+        body = compile_thread([dsl.spin_lock("l")], "ARMv8")
+        rmw = next(i for i in body if isinstance(i, Rmw))
+        assert rmw.require_read_value == 0
+
+    def test_armv8_acquire_rmw_approximation(self):
+        body = compile_thread([dsl.xchg_acquire("r0", "x", 1)], "ARMv8")
+        assert body[-1].tag == "dmb-ld"
+
+
+class TestRcuHandling:
+    def test_rcu_kept_by_default(self):
+        body = compile_thread([dsl.rcu_read_lock(), dsl.rcu_read_unlock()], "Power8")
+        assert [f.tag for f in body] == ["rcu-lock", "rcu-unlock"]
+
+    def test_rcu_error_mode(self):
+        with pytest.raises(CompileError):
+            compile_thread([dsl.synchronize_rcu()], "Power8", rcu="error")
+
+    def test_bad_rcu_mode_rejected(self):
+        program = dsl.program("t", dsl.thread(dsl.smp_mb()))
+        with pytest.raises(ValueError):
+            compile_program(program, get_arch("x86"), rcu="whatever")
+
+
+class TestWholePrograms:
+    @pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+    def test_whole_corpus_compiles(self, arch):
+        spec = get_arch(arch)
+        for name in library.all_names():
+            compiled = compile_program(library.get(name), spec, rcu="keep")
+            assert compiled.name == f"{name}@{spec.name}"
+            assert compiled.num_threads == library.get(name).num_threads
+
+    def test_branches_compiled_recursively(self):
+        program = library.get("LB+ctrl+mb")
+        compiled = compile_program(program, get_arch("Power8"))
+        from repro.litmus.ast import If
+
+        branch = next(
+            i for i in compiled.threads[0].body if isinstance(i, If)
+        )
+        assert branch.then  # body preserved
+
+    def test_condition_and_init_preserved(self):
+        program = library.get("MP+wmb+rmb")
+        compiled = compile_program(program, get_arch("x86"))
+        assert compiled.condition is program.condition
+        assert compiled.init == program.init

@@ -1,0 +1,147 @@
+"""Tests for the diy-style cycle generator."""
+
+import pytest
+
+from repro.diy import CycleError, generate, generate_cycles
+from repro.herd import run_litmus
+from repro.litmus.outcomes import LocValue, RegValue
+from repro.lkmm import LinuxKernelModel
+
+
+@pytest.fixture(scope="module")
+def lkmm():
+    return LinuxKernelModel()
+
+
+def verdict(lkmm, edges):
+    return run_litmus(lkmm, generate(edges)).verdict
+
+
+class TestGeneration:
+    def test_mp_shape(self):
+        program = generate(["Rfe", "PodRR", "Fre", "PodWW"])
+        assert program.num_threads == 2
+        assert len(program.locations()) == 2
+
+    def test_three_thread_cycle(self):
+        program = generate(["Rfe", "PodRW", "Rfe", "PodRR", "Fre", "PodWW"])
+        assert program.num_threads == 3
+
+    def test_condition_pins_rf_sources(self):
+        program = generate(["Rfe", "PodRR", "Fre", "PodWW"])
+        clauses = []
+
+        def collect(c):
+            if isinstance(c, (RegValue, LocValue)):
+                clauses.append(c)
+            else:
+                for attr in ("lhs", "rhs", "body", "operand"):
+                    if hasattr(c, attr):
+                        collect(getattr(c, attr))
+
+        collect(program.condition)
+        values = sorted(c.value for c in clauses if isinstance(c, RegValue))
+        assert values == [0, 1]  # one read from the write, one from init
+
+    def test_coe_pins_final_value(self):
+        program = generate(["Coe", "PodWW", "Coe", "PodWW"])  # 2+2W
+        clauses = str(program.condition)
+        assert "x=" in clauses or "y=" in clauses
+
+    def test_fence_edges_emit_fences(self):
+        program = generate(["Rfe", "RmbdRR", "Fre", "WmbdWW"])
+        from repro.litmus.ast import Fence
+
+        tags = {
+            i.tag
+            for t in program.threads
+            for i in t.body
+            if isinstance(i, Fence)
+        }
+        assert tags == {"rmb", "wmb"}
+
+    def test_dependencies_realised(self):
+        program = generate(["Rfe", "DpAddrdR", "Fre", "WmbdWW"])
+        from repro.executions import candidate_executions
+
+        x = next(iter(candidate_executions(program)))
+        assert len(x.addr) >= 1
+
+    def test_ctrl_dependency_realised(self):
+        program = generate(["Rfe", "DpCtrldW", "Rfe", "MbdRW"])
+        from repro.executions import candidate_executions
+
+        x = next(iter(candidate_executions(program)))
+        assert len(x.ctrl) >= 1
+
+
+class TestValidation:
+    def test_kind_conflict_rejected(self):
+        # Rfe ends at a read; Coe must start at a write.
+        with pytest.raises(CycleError):
+            generate(["Rfe", "Coe"])
+
+    def test_all_internal_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            generate(["PodRR", "PodRR"])
+
+    def test_location_merge_conflict_rejected(self):
+        # A single po edge between two comm edges on the same pair of
+        # nodes would identify the locations it must separate.
+        with pytest.raises(CycleError):
+            generate(["Rfe", "PodRR", "Fre"])
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            generate([])
+
+
+class TestKnownVerdicts:
+    """Generated cycles must get the same verdicts as the hand-written
+    library tests of the same shape."""
+
+    @pytest.mark.parametrize(
+        "edges,expected",
+        [
+            (["Rfe", "PodRR", "Fre", "PodWW"], "Allow"),  # MP
+            (["Rfe", "RmbdRR", "Fre", "WmbdWW"], "Forbid"),  # MP+wmb+rmb
+            (["Fre", "PodWR", "Fre", "PodWR"], "Allow"),  # SB
+            (["Fre", "MbdWR", "Fre", "MbdWR"], "Forbid"),  # SB+mbs
+            (["Rfe", "DpCtrldW", "Rfe", "MbdRW"], "Forbid"),  # LB+ctrl+mb
+            (["Rfe", "PodRW", "Rfe", "PodRW"], "Allow"),  # LB
+            (["Rfe", "DpDatadW", "Rfe", "DpDatadW"], "Forbid"),  # LB+datas
+            (["Rfe", "DpAddrdR", "Fre", "WmbdWW"], "Allow"),  # Alpha addr
+            # An rb-dep fence alone restores nothing without a dependency:
+            (["Rfe", "RbDepdRR", "Fre", "WmbdWW"], "Allow"),
+            # ... but addr + rb-dep forms strong-rrdep:
+            (["Rfe", "DpAddrRbDepdR", "Fre", "WmbdWW"], "Forbid"),
+            (["Rfe", "AcqdR", "Fre", "ReldW"], "Forbid"),  # MP+rel+acq
+            (["Rfe", "SyncdRR", "Fre", "WmbdWW"], "Forbid"),  # gp strong
+            (["Coe", "WmbdWW", "Coe", "WmbdWW"], "Allow"),  # 2+2W+wmbs
+            (["Coe", "MbdWW", "Coe", "MbdWW"], "Forbid"),  # 2+2W+mbs
+        ],
+    )
+    def test_cycle_verdict(self, lkmm, edges, expected):
+        assert verdict(lkmm, edges) == expected
+
+
+class TestSystematicGeneration:
+    def test_dedup_by_rotation(self):
+        programs = list(generate_cycles(["Rfe", "Fre", "PodRR", "PodWW"], 4))
+        names = [p.name for p in programs]
+        assert len(names) == len(set(names))
+        # MP appears once, not four times (one per rotation).
+        mp_like = [n for n in names if set(n.split("+")) ==
+                   {"Rfe", "PodRR", "Fre", "PodWW"}]
+        assert len(mp_like) == 1
+
+    def test_max_tests_bound(self):
+        programs = list(
+            generate_cycles(["Rfe", "Fre", "Coe", "PodRR", "PodWW"], 4, max_tests=5)
+        )
+        assert len(programs) == 5
+
+    def test_generated_tests_are_runnable(self, lkmm):
+        for program in generate_cycles(["Rfe", "Fre", "MbdRR", "MbdWR", "MbdWW"], 4, max_tests=10):
+            result = run_litmus(lkmm, program)
+            assert result.candidates > 0

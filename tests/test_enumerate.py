@@ -1,0 +1,158 @@
+"""Tests for candidate-execution enumeration."""
+
+import pytest
+
+from repro.executions import candidate_executions, count_candidate_executions
+from repro.litmus import dsl, library
+from repro.litmus.parser import parse_litmus
+
+
+def execs(program, **kwargs):
+    return list(candidate_executions(program, **kwargs))
+
+
+class TestCounts:
+    def test_single_thread_single_write(self):
+        program = dsl.program("t", dsl.thread(dsl.write_once("x", 1)))
+        assert count_candidate_executions(program) == 1
+
+    def test_mp_has_four_candidates(self):
+        # Two reads with two possible values each; single write per
+        # location means co is forced.
+        assert count_candidate_executions(library.get("MP")) == 4
+
+    def test_coherence_order_enumerated(self):
+        # Two writes to x from different threads: two coherence orders.
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.write_once("x", 2)),
+        )
+        assert count_candidate_executions(program) == 2
+
+    def test_rf_choices_enumerated(self):
+        # A read of value 1 with two same-value writers: two rf choices,
+        # each with two co orders.
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.read_once("r0", "x")),
+        )
+        executions = execs(program)
+        reading_one = [
+            x
+            for x in executions
+            if any(e.is_read and e.value == 1 for e in x.events)
+        ]
+        assert len(reading_one) == 4  # 2 rf sources x 2 co orders
+
+    def test_unwritable_value_pruned(self):
+        # The only values ever written to x are 0 (init); a trace choosing
+        # any other value must not survive... there is none, so exactly one
+        # execution exists.
+        program = dsl.program("t", dsl.thread(dsl.read_once("r0", "x")))
+        executions = execs(program)
+        assert len(executions) == 1
+        read = next(e for e in executions[0].events if e.is_read)
+        assert read.value == 0
+
+
+class TestStructure:
+    def test_init_writes_present(self):
+        program = library.get("MP")
+        x = execs(program)[0]
+        inits = [e for e in x.events if e.is_init]
+        assert sorted(e.loc for e in inits) == ["x", "y"]
+
+    def test_po_is_per_thread_total(self):
+        x = execs(library.get("MP"))[0]
+        for a, b in x.po.pairs:
+            assert a.tid == b.tid
+            assert a.po_index < b.po_index
+
+    def test_rf_well_formed(self):
+        for x in execs(library.get("MP+wmb+rmb")):
+            targets = [b for _, b in x.rf.pairs]
+            assert len(targets) == len(set(targets))  # one write per read
+            for w, r in x.rf.pairs:
+                assert w.is_write and r.is_read
+                assert w.loc == r.loc and w.value == r.value
+
+    def test_co_total_per_location(self):
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.write_once("x", 2)),
+        )
+        for x in execs(program):
+            writes = [e for e in x.events if e.is_write and e.loc == "x"]
+            assert x.co.is_total_order_on(writes)
+            # Init write is co-first.
+            init = next(e for e in writes if e.is_init)
+            for other in writes:
+                if other is not init:
+                    assert (init, other) in x.co
+
+    def test_rmw_relation(self):
+        program = dsl.program("t", dsl.thread(dsl.xchg("r0", "x", 1)))
+        x = execs(program)[0]
+        assert len(x.rmw) == 1
+        (read, write), = x.rmw.pairs
+        assert read.is_read and write.is_write
+
+    def test_final_state_registers_and_memory(self):
+        program = library.get("MP")
+        states = {x.final_state for x in execs(program)}
+        # Memory is always x=1, y=1; registers vary.
+        for state in states:
+            assert state.memory["x"] == 1 and state.memory["y"] == 1
+        regs = {
+            (s.registers[(1, "r0")], s.registers[(1, "r1")]) for s in states
+        }
+        assert regs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_labels_assigned_to_accesses(self):
+        x = execs(library.get("MP"))[0]
+        accesses = [e for e in x.events if e.is_memory_access and not e.is_init]
+        assert all(e.label for e in accesses)
+        fences = [e for e in x.events if e.is_fence]
+        assert all(not e.label for e in fences)
+
+
+class TestScpvPrefilter:
+    def test_prefilter_only_removes_scpv_violations(self):
+        program = library.get("CoRR")
+        unfiltered = execs(program)
+        filtered = execs(program, require_sc_per_location=True)
+        assert len(filtered) < len(unfiltered)
+        for x in filtered:
+            assert (x.po_loc | x.com).is_acyclic()
+
+    def test_prefilter_preserves_model_verdicts(self, lkmm):
+        from repro.herd import run_litmus
+
+        for name in ("MP+wmb+rmb", "SB", "CoRR", "At-inc"):
+            program = library.get(name)
+            a = run_litmus(lkmm, program)
+            b = run_litmus(lkmm, program, require_sc_per_location=True)
+            assert a.verdict == b.verdict
+            assert a.witnesses == b.witnesses
+
+
+class TestDerivedRelations:
+    def test_fr_definition(self):
+        for x in execs(library.get("SB")):
+            manual = x.rf.inverse().sequence(x.co)
+            assert x.fr == manual
+
+    def test_int_ext_partition(self):
+        x = execs(library.get("MP"))[0]
+        n = len(x.events)
+        assert len(x.int_) + len(x.ext) == n * n
+
+    def test_loc_symmetric_reflexive_on_accesses(self):
+        x = execs(library.get("MP"))[0]
+        for a, b in x.loc.pairs:
+            assert (b, a) in x.loc
+            assert a.loc == b.loc

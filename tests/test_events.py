@@ -1,0 +1,101 @@
+"""Unit tests for repro.events."""
+
+import pytest
+
+from repro.events import (
+    ACQUIRE,
+    Event,
+    FENCE,
+    INIT_TID,
+    MB,
+    ONCE,
+    Pointer,
+    READ,
+    WRITE,
+    _index_to_label,
+    fresh_labels,
+)
+
+
+def _event(eid, kind=READ, tag=ONCE, tid=0, po=0, loc="x", value=0):
+    return Event(eid=eid, tid=tid, po_index=po, kind=kind, tag=tag, loc=loc, value=value)
+
+
+class TestEvent:
+    def test_kind_predicates(self):
+        read = _event(0, READ)
+        write = _event(1, WRITE)
+        fence = Event(eid=2, tid=0, po_index=2, kind=FENCE, tag=MB)
+        assert read.is_read and not read.is_write and not read.is_fence
+        assert write.is_write and write.is_memory_access
+        assert fence.is_fence and not fence.is_memory_access
+
+    def test_init_events(self):
+        init = Event(eid=0, tid=INIT_TID, po_index=0, kind=WRITE, tag=ONCE, loc="x", value=0)
+        assert init.is_init
+        assert not _event(1).is_init
+
+    def test_identity_by_eid(self):
+        a = _event(0)
+        b = a.with_value(42)
+        assert a == b  # same eid
+        assert b.value == 42
+        assert hash(a) == hash(b)
+
+    def test_distinct_eids_differ(self):
+        assert _event(0) != _event(1)
+
+    def test_has_tag_includes_extra_tags(self):
+        event = Event(
+            eid=0, tid=0, po_index=0, kind=READ, tag=ONCE, loc="x",
+            extra_tags=("rmw",),
+        )
+        assert event.has_tag(ONCE)
+        assert event.has_tag("rmw")
+        assert not event.has_tag(ACQUIRE)
+
+    def test_repr_mentions_kind_and_location(self):
+        event = _event(0, WRITE, ONCE, loc="y", value=3)
+        text = repr(event)
+        assert "W[once]" in text and "y" in text and "3" in text
+
+
+class TestPointer:
+    def test_repr(self):
+        assert repr(Pointer("x")) == "&x"
+
+    def test_equality_and_ordering(self):
+        assert Pointer("x") == Pointer("x")
+        assert Pointer("x") != Pointer("y")
+        assert Pointer("a") < Pointer("b")
+
+    def test_pointer_not_equal_to_int(self):
+        assert Pointer("x") != 0
+
+
+class TestLabels:
+    def test_index_to_label(self):
+        assert _index_to_label(0) == "a"
+        assert _index_to_label(25) == "z"
+        assert _index_to_label(26) == "aa"
+        assert _index_to_label(27) == "ab"
+
+    def test_fresh_labels_skip_fences(self):
+        events = [
+            _event(0, READ, tid=0, po=0),
+            Event(eid=1, tid=0, po_index=1, kind=FENCE, tag=MB),
+            _event(2, WRITE, tid=0, po=2),
+        ]
+        labelled = fresh_labels(events)
+        labels = [e.label for e in labelled]
+        assert labels == ["a", "", "b"]
+
+    def test_fresh_labels_order_by_thread_then_po(self):
+        events = [
+            _event(0, READ, tid=1, po=0),
+            _event(1, WRITE, tid=0, po=0),
+        ]
+        labelled = fresh_labels(events)
+        by_eid = {e.eid: e.label for e in labelled}
+        assert by_eid[1] == "a"  # thread 0 first
+        assert by_eid[0] == "b"

@@ -1,0 +1,85 @@
+"""Unit tests for systematic family generation and the strength order."""
+
+import pytest
+
+from repro.diy.families import (
+    FAMILIES,
+    FamilyMember,
+    check_monotonicity,
+    family,
+    weaker_or_equal,
+)
+
+
+class TestStrengthOrder:
+    def test_reflexive(self):
+        assert weaker_or_equal("MbdRR", "MbdRR")
+
+    def test_po_weakest(self):
+        for strong in ("RmbdRR", "MbdRR", "SyncdRR", "AcqdR", "DpAddrdR"):
+            assert weaker_or_equal("PodRR", strong)
+
+    def test_transitive(self):
+        # PodRR < RmbdRR < MbdRR < SyncdRR.
+        assert weaker_or_equal("PodRR", "SyncdRR")
+        assert weaker_or_equal("RmbdRR", "SyncdRR")
+
+    def test_antisymmetric_examples(self):
+        assert not weaker_or_equal("MbdRR", "RmbdRR")
+        assert not weaker_or_equal("SyncdWW", "MbdWW")
+
+    def test_incomparable_edges(self):
+        # An address dependency and an rmb are incomparable strengths.
+        assert not weaker_or_equal("DpAddrdR", "RmbdRR")
+        assert not weaker_or_equal("RmbdRR", "DpAddrdR")
+
+    def test_rb_dep_strengthens_addr(self):
+        assert weaker_or_equal("DpAddrdR", "DpAddrRbDepdR")
+
+    def test_cross_signature_never_comparable(self):
+        assert not weaker_or_equal("PodRR", "MbdWW")
+
+
+class TestFamilyGeneration:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_families_non_empty(self, name):
+        members = list(family(name))
+        assert members
+        for member in members:
+            assert isinstance(member, FamilyMember)
+            assert member.program.condition is not None
+
+    def test_mp_family_size(self):
+        # 7 read-side x 5 write-side choices.
+        assert len(list(family("MP"))) == 35
+
+    def test_unique_names(self):
+        names = [m.program.name for m in family("LB")]
+        assert len(names) == len(set(names))
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            list(family("nope"))
+
+
+class TestMonotonicityChecker:
+    def test_detects_violation(self):
+        verdicts = {
+            ("PodRR", "PodWW"): "Forbid",   # weaker forbidden...
+            ("MbdRR", "MbdWW"): "Allow",    # ...stronger allowed: bogus
+        }
+        assert check_monotonicity(verdicts)
+
+    def test_accepts_monotone(self):
+        verdicts = {
+            ("PodRR", "PodWW"): "Allow",
+            ("MbdRR", "MbdWW"): "Forbid",
+        }
+        assert not check_monotonicity(verdicts)
+
+    def test_incomparable_not_flagged(self):
+        verdicts = {
+            ("DpAddrdR", "PodWW"): "Forbid",
+            ("RmbdRR", "PodWW"): "Allow",
+        }
+        assert not check_monotonicity(verdicts)

@@ -1,0 +1,75 @@
+"""Tests for the top-level herd-style runner."""
+
+import pytest
+
+from repro.herd import ALLOW, FORBID, run_litmus, verdicts
+from repro.litmus import dsl, library
+from repro.lkmm import LinuxKernelModel
+
+
+class TestRunLitmus:
+    def test_counts_consistent(self, lkmm, mp_program):
+        result = run_litmus(lkmm, mp_program)
+        assert result.candidates == 4
+        assert result.allowed == 3
+        assert result.witnesses == 0
+        assert result.verdict == FORBID
+
+    def test_witness_execution_kept(self, lkmm, sb_program):
+        result = run_litmus(lkmm, sb_program)
+        assert result.verdict == ALLOW
+        assert result.witness_execution is not None
+        assert sb_program.condition.evaluate(
+            result.witness_execution.final_state
+        )
+
+    def test_forbidden_witness_kept(self, lkmm, mp_program):
+        result = run_litmus(lkmm, mp_program)
+        assert result.forbidden_witness is not None
+        assert mp_program.condition.evaluate(
+            result.forbidden_witness.final_state
+        )
+
+    def test_states_collected(self, lkmm, mp_program):
+        result = run_litmus(lkmm, mp_program)
+        assert len(result.states) == 3
+
+    def test_observation_summary(self, lkmm):
+        result = run_litmus(lkmm, library.get("SB"))
+        assert result.observation == "Sometimes"
+        result = run_litmus(lkmm, library.get("MP+wmb+rmb"))
+        assert result.observation == "Never"
+
+    def test_describe_mentions_name_and_verdict(self, lkmm, mp_program):
+        text = run_litmus(lkmm, mp_program).describe()
+        assert "MP+wmb+rmb" in text and "Forbid" in text
+
+    def test_forall_condition(self, lkmm):
+        program = dsl.program(
+            "forall-test",
+            dsl.thread(dsl.write_once("x", 1)),
+            condition=dsl.forall(dsl.LocValue("x", 1)),
+        )
+        assert run_litmus(lkmm, program).verdict == ALLOW
+
+    def test_forall_fails_when_not_universal(self, lkmm):
+        program = dsl.program(
+            "forall-fail",
+            dsl.thread(dsl.read_once("r0", "x")),
+            dsl.thread(dsl.write_once("x", 1)),
+            condition=dsl.forall(dsl.RegValue(0, "r0", 1)),
+        )
+        assert run_litmus(lkmm, program).verdict == FORBID
+
+    def test_no_condition_counts_everything(self, lkmm):
+        program = dsl.program("plain", dsl.thread(dsl.write_once("x", 1)))
+        result = run_litmus(lkmm, program)
+        assert result.witnesses == result.allowed == 1
+
+
+class TestVerdictsTable:
+    def test_multiple_models(self, lkmm, c11):
+        table = verdicts([lkmm, c11], [library.get("RWC+mbs")])
+        row = table["RWC+mbs"]
+        assert row["LKMM"] == FORBID
+        assert row["C11"] == ALLOW

@@ -1,0 +1,51 @@
+"""Tests for the klitmus harness."""
+
+import pytest
+
+from repro.hardware import run_klitmus
+from repro.hardware.klitmus import _si
+from repro.litmus import library
+
+
+class TestRunKlitmus:
+    def test_basic_run(self):
+        result = run_klitmus(library.get("SB"), "x86", runs=500)
+        assert result.runs == 500
+        assert sum(result.histogram.values()) == 500
+        assert result.arch_name == "x86"
+        assert 0 < result.observed < 500
+
+    def test_accepts_arch_name_or_spec(self):
+        from repro.hardware.archspec import get_arch
+
+        by_name = run_klitmus(library.get("SB"), "x86", runs=100)
+        by_spec = run_klitmus(library.get("SB"), get_arch("x86"), runs=100)
+        assert by_name.histogram == by_spec.histogram
+
+    def test_reproducible_with_seed(self):
+        a = run_klitmus(library.get("MP"), "Power8", runs=300, seed=5)
+        b = run_klitmus(library.get("MP"), "Power8", runs=300, seed=5)
+        assert a.histogram == b.histogram
+
+    def test_summary_format(self):
+        result = run_klitmus(library.get("SB+mbs"), "x86", runs=200)
+        assert result.summary() == "0/200"
+
+    def test_describe_lists_states(self):
+        result = run_klitmus(library.get("SB"), "x86", runs=200)
+        text = result.describe()
+        assert "SB on x86" in text
+        assert "0:r0" in text
+
+
+class TestSiFormatting:
+    def test_plain(self):
+        assert _si(999) == "999"
+
+    def test_kilo(self):
+        assert _si(1000) == "1k"
+        assert _si(741_000) == "741k"
+
+    def test_mega_giga(self):
+        assert _si(5_600_000) == "5.6M"
+        assert _si(33_000_000_000) == "33G"

@@ -1,0 +1,153 @@
+"""Tests for the Python DSL builders."""
+
+import pytest
+
+from repro.events import Pointer
+from repro.litmus import dsl
+from repro.litmus.ast import (
+    BinOp,
+    Const,
+    Fence,
+    If,
+    LitmusError,
+    Load,
+    Program,
+    Reg,
+    Rmw,
+    Store,
+)
+
+
+class TestAccessBuilders:
+    def test_read_once(self):
+        load = dsl.read_once("r0", "x")
+        assert load == Load("r0", Const(Pointer("x")), "once")
+
+    def test_load_acquire(self):
+        assert dsl.load_acquire("r0", "x").tag == "acquire"
+
+    def test_write_once_with_register_value(self):
+        store = dsl.write_once("y", "r1")
+        assert store.value == Reg("r1")
+
+    def test_write_once_with_int(self):
+        assert dsl.write_once("y", 3).value == Const(3)
+
+    def test_write_once_with_pointer_value(self):
+        assert dsl.write_once("p", dsl.ptr("x")).value == Const(Pointer("x"))
+
+    def test_store_release(self):
+        assert dsl.store_release("y", 1).tag == "release"
+
+    def test_address_via_register(self):
+        load = dsl.read_once("r1", dsl.reg("r0"))
+        assert load.addr == Reg("r0")
+
+    def test_rcu_dereference_flag(self):
+        assert dsl.rcu_dereference("r0", "p").rb_dep
+
+    def test_rcu_assign_pointer_is_release(self):
+        assert dsl.rcu_assign_pointer("p", dsl.ptr("x")).tag == "release"
+
+
+class TestRmwBuilders:
+    @pytest.mark.parametrize(
+        "builder,variant",
+        [
+            (dsl.xchg, "xchg"),
+            (dsl.xchg_relaxed, "xchg_relaxed"),
+            (dsl.xchg_acquire, "xchg_acquire"),
+            (dsl.xchg_release, "xchg_release"),
+        ],
+    )
+    def test_variants(self, builder, variant):
+        rmw = builder("r0", "x", 1)
+        assert isinstance(rmw, Rmw) and rmw.variant == variant
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(LitmusError):
+            Rmw("r0", Const(Pointer("x")), Const(1), "bogus")
+
+    def test_atomic_inc_return(self):
+        rmw = dsl.atomic_inc_return("r0", "x")
+        assert rmw.new_value == BinOp("+", Reg("r0"), Const(1))
+
+    def test_spin_lock_unlock(self):
+        lock = dsl.spin_lock("l")
+        assert lock.variant == "xchg_acquire"
+        assert lock.require_read_value == 0
+        unlock = dsl.spin_unlock("l")
+        assert unlock.tag == "release" and unlock.value == Const(0)
+
+
+class TestProgramBuilders:
+    def test_program_requires_threads(self):
+        with pytest.raises(LitmusError):
+            dsl.program("empty")
+
+    def test_locations_include_init_and_code(self):
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("x", 1)),
+            init={"q": 0},
+        )
+        assert program.locations() == ["q", "x"]
+
+    def test_locations_include_pointer_targets(self):
+        program = dsl.program(
+            "t", dsl.thread(dsl.write_once("p", dsl.ptr("target")))
+        )
+        assert "target" in program.locations()
+
+    def test_initial_value_defaults_to_zero(self):
+        program = dsl.program("t", dsl.thread(dsl.write_once("x", 1)))
+        assert program.initial_value("x") == 0
+
+    def test_exists_regs_builder(self):
+        condition = dsl.exists_regs((0, "r0", 1), (1, "r1", 0))
+        from repro.litmus.outcomes import And, Exists
+
+        assert isinstance(condition, Exists)
+        assert isinstance(condition.body, And)
+
+    def test_if_then(self):
+        branch = dsl.if_then(dsl.eq("r0", 1), [dsl.write_once("y", 1)])
+        assert isinstance(branch, If)
+        assert len(branch.then) == 1 and not branch.orelse
+
+
+class TestExpressionHelpers:
+    def test_eq_ne_add(self):
+        assert dsl.eq("r0", 1).op == "=="
+        assert dsl.ne("r0", 1).op == "!="
+        assert dsl.add("r0", 1).op == "+"
+
+    def test_bool_coerced_to_int(self):
+        assert dsl.write_once("x", True).value == Const(1)
+
+
+class TestExpressionSemantics:
+    def test_pointer_comparison(self):
+        op = BinOp("==", Const(Pointer("x")), Const(Pointer("x")))
+        assert op.apply(Pointer("x"), Pointer("x")) == 1
+        assert op.apply(Pointer("x"), Pointer("y")) == 0
+
+    def test_pointer_arithmetic_false_dep_only(self):
+        op = BinOp("+", Const(Pointer("x")), Const(0))
+        assert op.apply(Pointer("x"), 0) == Pointer("x")
+        with pytest.raises(LitmusError):
+            op.apply(Pointer("x"), 1)
+
+    def test_pointer_forbidden_in_other_ops(self):
+        with pytest.raises(LitmusError):
+            BinOp("&", Const(0), Const(0)).apply(Pointer("x"), 1)
+
+    def test_unary_not_on_pointer_is_false(self):
+        from repro.litmus.ast import UnOp
+
+        assert UnOp("!", Const(0)).apply(Pointer("x")) == 0
+
+    def test_bitwise_ops(self):
+        assert BinOp("^", Const(0), Const(0)).apply(0x10001, 0x10000) == 1
+        assert BinOp("&", Const(0), Const(0)).apply(0x10001, 0xFFFF) == 1
+        assert BinOp("|", Const(0), Const(0)).apply(1, 2) == 3

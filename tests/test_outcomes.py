@@ -1,0 +1,81 @@
+"""Tests for final-state conditions."""
+
+import pytest
+
+from repro.events import Pointer
+from repro.litmus.outcomes import (
+    And,
+    Exists,
+    FinalState,
+    Forall,
+    LocValue,
+    Not,
+    NotExists,
+    Or,
+    RegValue,
+    conj,
+    exists,
+    forall,
+    not_exists,
+)
+
+
+@pytest.fixture
+def state():
+    return FinalState(
+        registers={(0, "r0"): 1, (1, "r1"): 0, (1, "rp"): Pointer("x")},
+        memory={"x": 2, "y": 0},
+    )
+
+
+class TestAtoms:
+    def test_reg_value(self, state):
+        assert RegValue(0, "r0", 1).evaluate(state)
+        assert not RegValue(0, "r0", 2).evaluate(state)
+
+    def test_missing_register_is_false(self, state):
+        assert not RegValue(5, "nope", 0).evaluate(state)
+
+    def test_loc_value(self, state):
+        assert LocValue("x", 2).evaluate(state)
+        assert not LocValue("x", 0).evaluate(state)
+
+    def test_pointer_values(self, state):
+        assert RegValue(1, "rp", Pointer("x")).evaluate(state)
+        assert not RegValue(1, "rp", Pointer("y")).evaluate(state)
+
+
+class TestConnectives:
+    def test_and_or_not(self, state):
+        t = RegValue(0, "r0", 1)
+        f = RegValue(0, "r0", 9)
+        assert And(t, t).evaluate(state)
+        assert not And(t, f).evaluate(state)
+        assert Or(f, t).evaluate(state)
+        assert Not(f).evaluate(state)
+
+    def test_conj_builder(self, state):
+        assert conj(RegValue(0, "r0", 1), LocValue("x", 2)).evaluate(state)
+        with pytest.raises(ValueError):
+            conj()
+
+
+class TestQuantifiers:
+    def test_wrappers(self):
+        body = RegValue(0, "r0", 1)
+        assert isinstance(exists(body), Exists)
+        assert isinstance(not_exists(body), NotExists)
+        assert isinstance(forall(body), Forall)
+
+    def test_repr_readable(self):
+        condition = exists(And(RegValue(1, "r0", 1), LocValue("x", 0)))
+        text = repr(condition)
+        assert "exists" in text and "1:r0=1" in text and "x=0" in text
+
+
+class TestFinalState:
+    def test_hashable(self, state):
+        again = FinalState(dict(state.registers), dict(state.memory))
+        assert state == again
+        assert hash(state) == hash(again)
+        assert len({state, again}) == 1

@@ -1,0 +1,187 @@
+"""Property-based tests over randomly generated litmus programs.
+
+hypothesis builds small random programs; the properties are the
+system-level invariants the reproduction rests on:
+
+* the native and cat renderings of the LK model agree on every candidate
+  execution (differential fuzzing of the interpreter and the model);
+* SC allows a subset of what the LK model allows (the LK model is weaker
+  than sequential consistency);
+* every architecture model, on the compiled program, allows a subset of
+  what the LK model allows (the soundness claim, fuzzed);
+* the operational simulator only produces axiomatic-model-allowed states;
+* serialising to litmus text and re-parsing preserves the verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cat import load_model
+from repro.executions import candidate_executions
+from repro.hardware import compile_program, get_arch
+from repro.hardware.opsim import OperationalSimulator
+from repro.herd import run_litmus
+from repro.litmus import dsl
+from repro.litmus.ast import Program, Thread
+from repro.litmus.parser import parse_litmus
+from repro.litmus.writer import write_litmus
+from repro.lkmm import LinuxKernelModel
+
+LOCATIONS = ("x", "y", "z")
+VALUES = (1, 2)
+
+_REG_COUNTER = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def instruction(draw, reg_prefix):
+    kind = draw(
+        st.sampled_from(
+            [
+                "read_once",
+                "write_once",
+                "load_acquire",
+                "store_release",
+                "smp_mb",
+                "smp_rmb",
+                "smp_wmb",
+                "xchg",
+                "xchg_relaxed",
+            ]
+        )
+    )
+    loc = draw(st.sampled_from(LOCATIONS))
+    if kind == "read_once":
+        return dsl.read_once(f"{reg_prefix}{draw(_REG_COUNTER)}", loc)
+    if kind == "load_acquire":
+        return dsl.load_acquire(f"{reg_prefix}{draw(_REG_COUNTER)}", loc)
+    if kind == "write_once":
+        return dsl.write_once(loc, draw(st.sampled_from(VALUES)))
+    if kind == "store_release":
+        return dsl.store_release(loc, draw(st.sampled_from(VALUES)))
+    if kind == "xchg":
+        return dsl.xchg(f"{reg_prefix}{draw(_REG_COUNTER)}", loc, draw(st.sampled_from(VALUES)))
+    if kind == "xchg_relaxed":
+        return dsl.xchg_relaxed(
+            f"{reg_prefix}{draw(_REG_COUNTER)}", loc, draw(st.sampled_from(VALUES))
+        )
+    return getattr(dsl, kind)()
+
+
+@st.composite
+def small_program(draw):
+    from hypothesis import assume
+    from repro.litmus.ast import Rmw, Store
+
+    num_threads = draw(st.integers(min_value=2, max_value=3))
+    bodies = [
+        draw(st.lists(instruction(f"r{tid}_"), min_size=1, max_size=3))
+        for tid in range(num_threads)
+    ]
+    # Keep enumeration tractable: the number of coherence orders is the
+    # product of factorials of the per-location write counts, and every
+    # read multiplies in its value choices.
+    writes_per_loc = {loc: 0 for loc in LOCATIONS}
+    total = 0
+    for body in bodies:
+        for ins in body:
+            total += 1
+            if isinstance(ins, (Store, Rmw)):
+                writes_per_loc[ins.addr.value.loc] += 1
+    assume(max(writes_per_loc.values()) <= 3)
+    assume(total <= 7)
+    threads = [Thread(tuple(body)) for body in bodies]
+    return Program("fuzz", tuple(threads), {loc: 0 for loc in LOCATIONS})
+
+
+NATIVE = LinuxKernelModel()
+CAT = load_model("lkmm")
+SC = load_model("sc")
+
+FUZZ_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def allowed_states(model, program):
+    return {
+        x.final_state
+        for x in candidate_executions(program)
+        if model.allows(x)
+    }
+
+
+class TestModelInvariants:
+    @FUZZ_SETTINGS
+    @given(small_program())
+    def test_native_and_cat_agree(self, program):
+        for x in candidate_executions(program):
+            assert NATIVE.allows(x) == CAT.allows(x)
+
+    @FUZZ_SETTINGS
+    @given(small_program())
+    def test_sc_is_stronger_than_lkmm(self, program):
+        assert allowed_states(SC, program) <= allowed_states(NATIVE, program)
+
+    @FUZZ_SETTINGS
+    @given(small_program(), st.sampled_from(["x86", "Power8", "ARMv8", "Alpha"]))
+    def test_arch_models_sound_wrt_lkmm(self, program, arch_name):
+        arch = get_arch(arch_name)
+        compiled = compile_program(program, arch, rcu="error")
+        arch_model = load_model(arch.cat_model)
+        assert allowed_states(arch_model, compiled) <= allowed_states(
+            NATIVE, program
+        )
+
+    @FUZZ_SETTINGS
+    @given(small_program(), st.sampled_from(["x86", "ARMv8"]))
+    def test_opsim_within_axiomatic(self, program, arch_name):
+        arch = get_arch(arch_name)
+        compiled = compile_program(program, arch, rcu="error")
+        axiomatic = allowed_states(load_model(arch.cat_model), compiled)
+        simulator = OperationalSimulator(compiled, arch)
+        for state in simulator.sample(60, seed=11):
+            assert state in axiomatic
+
+
+class TestEnumerationInvariants:
+    @FUZZ_SETTINGS
+    @given(small_program())
+    def test_every_execution_well_formed(self, program):
+        for x in candidate_executions(program):
+            # rf is a function from reads to same-location same-value writes.
+            read_targets = [r for _, r in x.rf.pairs]
+            assert len(read_targets) == len(set(read_targets))
+            assert len(read_targets) == len(x.reads)
+            for w, r in x.rf.pairs:
+                assert w.loc == r.loc and w.value == r.value
+            # co is a strict total order per location starting at init.
+            for loc in LOCATIONS:
+                writes = [e for e in x.writes if e.loc == loc]
+                assert x.co.is_total_order_on(writes)
+
+    @FUZZ_SETTINGS
+    @given(small_program())
+    def test_scpv_prefilter_preserves_lkmm_verdict(self, program):
+        full = allowed_states(NATIVE, program)
+        filtered = {
+            x.final_state
+            for x in candidate_executions(program, require_sc_per_location=True)
+            if NATIVE.allows(x)
+        }
+        assert full == filtered
+
+
+class TestRoundTrip:
+    @FUZZ_SETTINGS
+    @given(small_program())
+    def test_writer_parser_round_trip(self, program):
+        reparsed = parse_litmus(write_litmus(program))
+        assert allowed_states(NATIVE, reparsed) == allowed_states(
+            NATIVE, program
+        )

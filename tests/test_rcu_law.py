@@ -1,0 +1,127 @@
+"""Tests for the fundamental law of RCU (Section 4.1) and its machinery."""
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.litmus import library
+from repro.rcu import (
+    critical_sections,
+    fundamental_law_holds,
+    grace_periods,
+    rcu_fence,
+)
+from repro.rcu.law import GP_FIRST, RSCS_FIRST, enlarged_pb, precedes_functions
+
+
+def witness(name):
+    program = library.get(name)
+    return next(
+        x
+        for x in candidate_executions(program)
+        if program.condition.evaluate(x.final_state)
+    )
+
+
+def benign(name):
+    """An execution NOT matching the exists clause."""
+    program = library.get(name)
+    return next(
+        x
+        for x in candidate_executions(program)
+        if not program.condition.evaluate(x.final_state)
+    )
+
+
+class TestStructure:
+    def test_grace_periods_found(self):
+        x = witness("RCU-MP")
+        assert len(grace_periods(x)) == 1
+
+    def test_critical_sections_found(self):
+        x = witness("RCU-MP")
+        ((lock, unlock),) = critical_sections(x)
+        assert lock.has_tag("rcu-lock") and unlock.has_tag("rcu-unlock")
+
+    def test_two_of_each(self):
+        x = witness("RCU-2GP-2RSCS")
+        assert len(grace_periods(x)) == 2
+        assert len(critical_sections(x)) == 2
+
+    def test_precedes_function_count(self):
+        x = witness("RCU-2GP-2RSCS")
+        assert len(list(precedes_functions(x))) == 2 ** 4
+
+    def test_no_rcu_means_single_empty_function(self):
+        x = witness("SB+mbs")
+        functions = list(precedes_functions(x))
+        assert functions == [{}]
+
+
+class TestRcuFence:
+    def test_rscs_first_orders_rscs_before_gp(self):
+        x = witness("RCU-MP")
+        (rscs,) = critical_sections(x)
+        (gp,) = grace_periods(x)
+        fence = rcu_fence(x, {(rscs, gp): RSCS_FIRST})
+        reads = sorted(
+            (e for e in x.events if e.is_read), key=lambda e: e.po_index
+        )
+        writes = sorted(
+            (e for e in x.events if e.is_write and not e.is_init),
+            key=lambda e: e.po_index,
+        )
+        # Every RSCS access is ordered before the post-GP write.
+        post_gp_write = max(writes, key=lambda e: e.po_index)
+        for read in reads:
+            assert (read, post_gp_write) in fence
+
+    def test_gp_first_orders_gp_before_rscs(self):
+        x = witness("RCU-MP")
+        (rscs,) = critical_sections(x)
+        (gp,) = grace_periods(x)
+        fence = rcu_fence(x, {(rscs, gp): GP_FIRST})
+        pre_gp_write = next(
+            e for e in x.events if e.is_write and not e.is_init
+            and e.po_index < gp.po_index and e.tid == gp.tid
+        )
+        for read in (e for e in x.events if e.is_read):
+            assert (pre_gp_write, read) in fence
+
+
+class TestLaw:
+    def test_forbidden_execution_violates_law(self):
+        # Figure 10's walk-through: neither choice of F avoids a cycle.
+        assert not fundamental_law_holds(witness("RCU-MP"))
+
+    def test_benign_execution_satisfies_law(self):
+        result = fundamental_law_holds(benign("RCU-MP"))
+        assert result
+        assert result.witness is not None
+
+    def test_deferred_free_violates_law(self):
+        # Figure 11: swapping the reads still leaves the pattern forbidden,
+        # "unlike with fences".
+        assert not fundamental_law_holds(witness("RCU-deferred-free"))
+
+    def test_one_gp_two_rscs_satisfies_law(self):
+        # The rule of thumb: fewer GPs than RSCSes in the cycle is fine.
+        assert fundamental_law_holds(witness("RCU-1GP-2RSCS"))
+
+    def test_two_gp_two_rscs_violates_law(self):
+        assert not fundamental_law_holds(witness("RCU-2GP-2RSCS"))
+
+    def test_both_branches_of_figure10(self):
+        # Follow Section 4.1's case analysis explicitly.
+        x = witness("RCU-MP")
+        (rscs,) = critical_sections(x)
+        (gp,) = grace_periods(x)
+        for choice in (RSCS_FIRST, GP_FIRST):
+            pb = enlarged_pb(x, {(rscs, gp): choice})
+            assert not pb.is_acyclic(), choice
+
+    def test_law_reduces_to_pb_without_rcu(self):
+        # With no RSCS/GP the law is just the Pb axiom.
+        x = witness("SB+mbs")
+        assert not fundamental_law_holds(x)
+        x2 = benign("SB+mbs")
+        assert fundamental_law_holds(x2)

@@ -1,0 +1,219 @@
+"""Unit and property-based tests for the relational algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import Event, ONCE, READ
+from repro.relations import (
+    EventSet,
+    Relation,
+    empty_relation,
+    least_fixpoint,
+    relation_from_order,
+)
+
+
+def _events(n):
+    return [
+        Event(eid=i, tid=0, po_index=i, kind=READ, tag=ONCE, loc="x", value=0)
+        for i in range(n)
+    ]
+
+
+EVENTS = _events(6)
+UNIVERSE = frozenset(EVENTS)
+
+
+def rel(*pairs):
+    return Relation([(EVENTS[a], EVENTS[b]) for a, b in pairs], UNIVERSE)
+
+
+def eset(*indices):
+    return EventSet([EVENTS[i] for i in indices], UNIVERSE)
+
+
+class TestEventSet:
+    def test_union_intersection_difference(self):
+        a, b = eset(0, 1, 2), eset(1, 2, 3)
+        assert (a | b) == eset(0, 1, 2, 3)
+        assert (a & b) == eset(1, 2)
+        assert (a - b) == eset(0)
+
+    def test_complement(self):
+        assert (~eset(0, 1)) == eset(2, 3, 4, 5)
+
+    def test_identity(self):
+        ident = eset(0, 2).identity()
+        assert (EVENTS[0], EVENTS[0]) in ident
+        assert (EVENTS[0], EVENTS[2]) not in ident
+        assert len(ident) == 2
+
+    def test_product(self):
+        product = eset(0, 1).product(eset(2))
+        assert set(product.pairs) == {
+            (EVENTS[0], EVENTS[2]),
+            (EVENTS[1], EVENTS[2]),
+        }
+
+    def test_filter(self):
+        assert eset(0, 1, 2).filter(lambda e: e.eid > 0) == eset(1, 2)
+
+    def test_is_empty(self):
+        assert eset().is_empty()
+        assert not eset(0).is_empty()
+
+
+class TestRelationBasics:
+    def test_union_intersection_difference(self):
+        a, b = rel((0, 1), (1, 2)), rel((1, 2), (2, 3))
+        assert (a | b) == rel((0, 1), (1, 2), (2, 3))
+        assert (a & b) == rel((1, 2))
+        assert (a - b) == rel((0, 1))
+
+    def test_inverse(self):
+        assert rel((0, 1), (2, 3)).inverse() == rel((1, 0), (3, 2))
+
+    def test_sequence(self):
+        assert rel((0, 1)).sequence(rel((1, 2))) == rel((0, 2))
+
+    def test_sequence_no_match_is_empty(self):
+        assert rel((0, 1)).sequence(rel((2, 3))).is_empty()
+
+    def test_optional_adds_identity_over_universe(self):
+        optional = rel((0, 1)).optional()
+        assert (EVENTS[5], EVENTS[5]) in optional
+        assert (EVENTS[0], EVENTS[1]) in optional
+
+    def test_transitive_closure(self):
+        closure = rel((0, 1), (1, 2), (2, 3)).transitive_closure()
+        assert (EVENTS[0], EVENTS[3]) in closure
+        assert (EVENTS[3], EVENTS[0]) not in closure
+
+    def test_transitive_closure_of_cycle_is_reflexive(self):
+        closure = rel((0, 1), (1, 0)).transitive_closure()
+        assert (EVENTS[0], EVENTS[0]) in closure
+        assert (EVENTS[1], EVENTS[1]) in closure
+
+    def test_reflexive_transitive_closure(self):
+        closure = rel((0, 1)).reflexive_transitive_closure()
+        assert (EVENTS[4], EVENTS[4]) in closure
+        assert (EVENTS[0], EVENTS[1]) in closure
+
+    def test_complement(self):
+        complement = rel((0, 1)).complement()
+        assert (EVENTS[0], EVENTS[1]) not in complement
+        assert (EVENTS[1], EVENTS[0]) in complement
+        assert len(complement) == len(UNIVERSE) ** 2 - 1
+
+    def test_restrict(self):
+        r = rel((0, 1), (2, 3))
+        assert r.restrict(domain=eset(0)) == rel((0, 1))
+        assert r.restrict(range_=eset(3)) == rel((2, 3))
+
+    def test_domain_range(self):
+        r = rel((0, 1), (2, 3))
+        assert r.domain() == eset(0, 2)
+        assert r.range() == eset(1, 3)
+
+
+class TestChecks:
+    def test_acyclic_on_dag(self):
+        assert rel((0, 1), (1, 2), (0, 2)).is_acyclic()
+
+    def test_cyclic_detected(self):
+        assert not rel((0, 1), (1, 2), (2, 0)).is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        assert not rel((3, 3)).is_acyclic()
+
+    def test_find_cycle_returns_closed_path(self):
+        cycle = rel((0, 1), (1, 2), (2, 0)).find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        # Each step is an edge of the relation.
+        r = rel((0, 1), (1, 2), (2, 0))
+        for a, b in zip(cycle, cycle[1:]):
+            assert (a, b) in r
+
+    def test_find_cycle_none_on_dag(self):
+        assert rel((0, 1), (1, 2)).find_cycle() is None
+
+    def test_irreflexive(self):
+        assert rel((0, 1)).is_irreflexive()
+        assert not rel((0, 0)).is_irreflexive()
+
+    def test_total_order(self):
+        order = relation_from_order([EVENTS[0], EVENTS[1], EVENTS[2]], UNIVERSE)
+        assert order.is_total_order_on(EVENTS[:3])
+        assert not order.is_total_order_on(EVENTS[:4])
+
+
+class TestFixpoint:
+    def test_least_fixpoint_transitive_closure(self):
+        base = rel((0, 1), (1, 2))
+        result = least_fixpoint(
+            lambda r: base | r.sequence(base) | base.sequence(r), UNIVERSE
+        )
+        assert result == base.transitive_closure()
+
+    def test_least_fixpoint_empty(self):
+        result = least_fixpoint(lambda r: r, UNIVERSE)
+        assert result.is_empty()
+
+
+# -- property-based tests ------------------------------------------------------
+
+pair_strategy = st.tuples(
+    st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)
+)
+relation_strategy = st.frozensets(pair_strategy, max_size=20).map(
+    lambda pairs: rel(*pairs)
+)
+
+
+class TestRelationProperties:
+    @given(relation_strategy, relation_strategy)
+    def test_union_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(relation_strategy, relation_strategy, relation_strategy)
+    def test_sequence_associative(self, a, b, c):
+        assert a.sequence(b).sequence(c) == a.sequence(b.sequence(c))
+
+    @given(relation_strategy)
+    def test_inverse_involution(self, a):
+        assert a.inverse().inverse() == a
+
+    @given(relation_strategy)
+    def test_transitive_closure_is_transitive(self, a):
+        closure = a.transitive_closure()
+        assert closure.sequence(closure).pairs <= closure.pairs
+
+    @given(relation_strategy)
+    def test_transitive_closure_contains_base(self, a):
+        assert a.pairs <= a.transitive_closure().pairs
+
+    @given(relation_strategy)
+    def test_transitive_closure_idempotent(self, a):
+        once = a.transitive_closure()
+        assert once.transitive_closure() == once
+
+    @given(relation_strategy)
+    def test_star_equals_plus_plus_id(self, a):
+        star = a.reflexive_transitive_closure()
+        plus = a.transitive_closure()
+        ident = {(e, e) for e in UNIVERSE}
+        assert star.pairs == plus.pairs | ident
+
+    @given(relation_strategy, relation_strategy)
+    def test_sequence_distributes_over_union(self, a, b):
+        c = rel((0, 1), (2, 3))
+        assert (a | b).sequence(c) == a.sequence(c) | b.sequence(c)
+
+    @given(relation_strategy)
+    def test_acyclic_iff_closure_irreflexive(self, a):
+        assert a.is_acyclic() == a.transitive_closure().is_irreflexive()
+
+    @given(relation_strategy, relation_strategy)
+    def test_demorgan_for_relations(self, a, b):
+        assert ~(a | b) == (~a) & (~b)

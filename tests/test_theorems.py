@@ -1,0 +1,76 @@
+"""Tests for the Theorem 1 equivalence checker (Section 4.2)."""
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.litmus import library
+from repro.rcu import check_theorem1, check_theorem1_on_program
+from repro.rcu.axiom import rcu_axiom_holds
+from repro.rcu.theorems import check_theorem1_on_corpus
+
+RCU_TESTS = [
+    "RCU-MP",
+    "RCU-deferred-free",
+    "RCU-1GP-2RSCS",
+    "RCU-2GP-2RSCS",
+    "RCU-MP+nested",
+    "SB+mb+sync",
+]
+
+
+class TestAxiom:
+    def test_axiom_rejects_rcu_mp_witness(self):
+        program = library.get("RCU-MP")
+        witness = next(
+            x
+            for x in candidate_executions(program)
+            if program.condition.evaluate(x.final_state)
+        )
+        assert not rcu_axiom_holds(witness)
+
+    def test_axiom_accepts_benign(self):
+        program = library.get("RCU-MP")
+        benign = next(
+            x
+            for x in candidate_executions(program)
+            if not program.condition.evaluate(x.final_state)
+        )
+        assert rcu_axiom_holds(benign)
+
+    def test_axiom_counts_gps_vs_rscs(self):
+        # 1 GP vs 2 RSCS: cycle has fewer GPs, axiom holds.
+        program = library.get("RCU-1GP-2RSCS")
+        for x in candidate_executions(program):
+            assert rcu_axiom_holds(x)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("name", RCU_TESTS)
+    def test_equivalence_per_test(self, name):
+        summary = check_theorem1_on_program(library.get(name))
+        assert summary.holds, summary.describe()
+        assert summary.executions > 0
+        assert summary.agreements == summary.executions
+
+    def test_single_execution_result(self):
+        program = library.get("RCU-MP")
+        witness = next(
+            x
+            for x in candidate_executions(program)
+            if program.condition.evaluate(x.final_state)
+        )
+        result = check_theorem1(witness)
+        assert result.equivalent
+        assert not result.axioms_hold
+        assert not result.law_holds
+
+    def test_corpus_summary_accumulates(self):
+        programs = [library.get("RCU-MP"), library.get("RCU-deferred-free")]
+        summary = check_theorem1_on_corpus(programs)
+        assert summary.executions == 8
+        assert summary.holds
+
+    def test_non_rcu_tests_trivially_agree(self):
+        # Without RCU primitives both sides reduce to the Pb axiom.
+        summary = check_theorem1_on_program(library.get("SB+mbs"))
+        assert summary.holds

@@ -1,0 +1,195 @@
+"""Tests for per-thread semantics: traces, dependencies, value sets."""
+
+import pytest
+
+from repro.events import FENCE, Pointer, READ, WRITE
+from repro.litmus import dsl
+from repro.litmus.ast import Assume, BinOp, Const, Reg, Thread, UnOp
+from repro.executions.thread_sem import (
+    SemanticsError,
+    enumerate_thread_traces,
+    possible_value_sets,
+)
+
+
+def traces(body, values):
+    return enumerate_thread_traces(Thread(tuple(body)), values)
+
+
+class TestStraightLine:
+    def test_single_write(self):
+        (trace,) = traces([dsl.write_once("x", 1)], {"x": {0, 1}})
+        (event,) = trace.events
+        assert event.kind == WRITE and event.loc == "x" and event.value == 1
+
+    def test_read_branches_over_values(self):
+        result = traces([dsl.read_once("r0", "x")], {"x": {0, 1, 2}})
+        assert len(result) == 3
+        assert sorted(t.events[0].value for t in result) == [0, 1, 2]
+
+    def test_final_registers(self):
+        result = traces([dsl.read_once("r0", "x")], {"x": {7}})
+        assert result[0].final_regs == {"r0": 7}
+
+    def test_fence_emits_event(self):
+        (trace,) = traces([dsl.smp_mb()], {})
+        assert trace.events[0].kind == FENCE
+        assert trace.events[0].tag == "mb"
+
+    def test_local_assign_no_event(self):
+        (trace,) = traces(
+            [dsl.assign("r0", 5), dsl.write_once("x", "r0")], {"x": {0}}
+        )
+        assert len(trace.events) == 1
+        assert trace.events[0].value == 5
+
+
+class TestDependencies:
+    def test_data_dependency(self):
+        result = traces(
+            [dsl.read_once("r0", "x"), dsl.write_once("y", "r0")],
+            {"x": {0, 1}, "y": {0}},
+        )
+        for trace in result:
+            write = trace.events[1]
+            assert write.data_deps == {0}
+            assert write.value == trace.events[0].value
+
+    def test_address_dependency(self):
+        result = traces(
+            [dsl.read_once("r0", "p"), dsl.read_once("r1", dsl.reg("r0"))],
+            {"p": {Pointer("x")}, "x": {0}},
+        )
+        (trace,) = result
+        dependent = trace.events[1]
+        assert dependent.loc == "x"
+        assert dependent.addr_deps == {0}
+
+    def test_control_dependency_extends_past_join(self):
+        body = [
+            dsl.read_once("r0", "x"),
+            dsl.if_then(dsl.eq("r0", 1), [dsl.write_once("y", 1)]),
+            dsl.write_once("z", 2),
+        ]
+        result = traces(body, {"x": {0, 1}, "y": {0}, "z": {0}})
+        taken = next(t for t in result if t.events[0].value == 1)
+        # Both the write in the branch and the one after the join carry the
+        # control dependency.
+        assert taken.events[1].ctrl_deps == {0}
+        assert taken.events[2].ctrl_deps == {0}
+
+    def test_untaken_branch_produces_no_events(self):
+        body = [
+            dsl.read_once("r0", "x"),
+            dsl.if_then(dsl.eq("r0", 1), [dsl.write_once("y", 1)]),
+        ]
+        result = traces(body, {"x": {0, 1}, "y": {0}})
+        untaken = next(t for t in result if t.events[0].value == 0)
+        assert len(untaken.events) == 1
+
+    def test_arithmetic_preserves_taint(self):
+        body = [
+            dsl.read_once("r0", "x"),
+            dsl.write_once("y", dsl.add("r0", 1)),
+        ]
+        result = traces(body, {"x": {0}, "y": {0}})
+        assert result[0].events[1].data_deps == {0}
+        assert result[0].events[1].value == 1
+
+
+class TestRmw:
+    def test_xchg_full_fences(self):
+        (trace,) = traces([dsl.xchg("r0", "x", 1)], {"x": {0}})
+        kinds = [e.kind for e in trace.events]
+        tags = [e.tag for e in trace.events]
+        assert kinds == [FENCE, READ, WRITE, FENCE]
+        assert tags == ["mb", "once", "once", "mb"]
+        assert trace.rmw_pairs == ((1, 2),)
+
+    def test_xchg_relaxed_no_fences(self):
+        (trace,) = traces([dsl.xchg_relaxed("r0", "x", 1)], {"x": {0}})
+        assert [e.kind for e in trace.events] == [READ, WRITE]
+
+    def test_xchg_acquire_tags(self):
+        (trace,) = traces([dsl.xchg_acquire("r0", "x", 1)], {"x": {0}})
+        assert trace.events[0].tag == "acquire"
+        assert trace.events[1].tag == "once"
+
+    def test_xchg_release_tags(self):
+        (trace,) = traces([dsl.xchg_release("r0", "x", 1)], {"x": {0}})
+        assert trace.events[1].tag == "release"
+
+    def test_increment_uses_read_value(self):
+        (a, b) = traces([dsl.atomic_inc_return("r0", "x")], {"x": {0, 5}})
+        read_to_written = {t.events[1].value: t.events[2].value for t in (a, b)}
+        assert read_to_written == {0: 1, 5: 6}
+
+    def test_spin_lock_requires_free(self):
+        result = traces([dsl.spin_lock("l")], {"l": {0, 1}})
+        assert len(result) == 1  # only the read-0 branch survives
+        assert result[0].events[0].value == 0
+        assert result[0].events[1].value == 1
+
+    def test_cmpxchg_success_and_failure(self):
+        result = traces([dsl.cmpxchg("r0", "x", 0, 1)], {"x": {0, 3}})
+        # Success path (read 0): fences + read + write.
+        success = next(t for t in result if t.final_regs["r0"] == 0)
+        assert any(e.kind == WRITE for e in success.events)
+        # Failure path (read 3): no write event.
+        failure = next(t for t in result if t.final_regs["r0"] == 3)
+        assert not any(e.kind == WRITE for e in failure.events)
+
+
+class TestAssume:
+    def test_assume_false_discards_trace(self):
+        assert traces([Assume(Const(0))], {}) == []
+
+    def test_assume_true_keeps_trace(self):
+        assert len(traces([Assume(Const(1))], {})) == 1
+
+    def test_assume_filters_read_values(self):
+        body = [
+            dsl.read_once("r0", "x"),
+            Assume(BinOp("==", Reg("r0"), Const(1))),
+        ]
+        result = traces(body, {"x": {0, 1, 2}})
+        assert len(result) == 1
+        assert result[0].final_regs["r0"] == 1
+
+
+class TestErrors:
+    def test_non_pointer_address_rejected(self):
+        from repro.litmus.ast import Load, Const as C
+
+        with pytest.raises(SemanticsError):
+            traces([Load("r0", C(5), "once")], {})
+
+
+class TestValueSets:
+    def test_constants_and_init(self):
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.write_once("x", 2)),
+            init={"x": 0},
+        )
+        values = possible_value_sets(program)
+        assert values["x"] == {0, 1, 2}
+
+    def test_copied_values_reach_fixpoint(self):
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.read_once("r0", "x"), dsl.write_once("y", "r0")),
+            dsl.thread(dsl.write_once("x", 7)),
+        )
+        values = possible_value_sets(program)
+        assert values["y"] == {0, 7}
+
+    def test_pointer_values(self):
+        program = dsl.program(
+            "t",
+            dsl.thread(dsl.write_once("p", dsl.ptr("x"))),
+            init={"p": dsl.ptr("z"), "x": 0, "z": 0},
+        )
+        values = possible_value_sets(program)
+        assert values["p"] == {Pointer("z"), Pointer("x")}

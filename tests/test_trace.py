@@ -1,0 +1,109 @@
+"""Tests for execution-trace recording and reconstruction.
+
+The strongest validation loop in the repository: run a test on a
+simulated machine, rebuild the exact candidate execution the machine
+performed, and check it against the *axiomatic* architecture model and
+the LK model.
+"""
+
+import random
+
+import pytest
+
+from repro.cat import load_model
+from repro.hardware import compile_program, get_arch, sample_executions
+from repro.hardware.opsim import OperationalSimulator
+from repro.hardware.trace import build_execution
+from repro.litmus import dsl, library
+
+
+def traced_runs(name, arch_name, runs=40, seed=5, rcu="error"):
+    return list(
+        sample_executions(library.get(name), arch_name, runs, seed=seed, rcu=rcu)
+    )
+
+
+class TestReconstruction:
+    def test_events_complete(self):
+        (x,) = traced_runs("MP+wmb+rmb", "Power8", runs=1)
+        # 2 init writes, 2 writes, 2 reads, and the lwsync fences.
+        assert len([e for e in x.events if e.is_init]) == 2
+        assert len([e for e in x.events if e.is_write and not e.is_init]) == 2
+        assert len([e for e in x.events if e.is_read]) == 2
+        assert len([e for e in x.events if e.is_fence]) == 2
+
+    def test_rf_well_formed(self):
+        for x in traced_runs("MP", "ARMv8", runs=25):
+            assert len(x.rf) == len(x.reads)
+            for w, r in x.rf.pairs:
+                assert w.is_write and r.is_read
+                assert w.loc == r.loc and w.value == r.value
+
+    def test_co_total_with_init_first(self):
+        program = dsl.program(
+            "co-test",
+            dsl.thread(dsl.write_once("x", 1)),
+            dsl.thread(dsl.write_once("x", 2)),
+        )
+        arch = get_arch("Power8")
+        compiled = compile_program(program, arch)
+        simulator = OperationalSimulator(compiled, arch)
+        _, trace = simulator.run_once_traced(random.Random(0))
+        x = build_execution(trace)
+        writes = [e for e in x.events if e.is_write and e.loc == "x"]
+        assert x.co.is_total_order_on(writes)
+        init = next(e for e in writes if e.is_init)
+        assert all((init, w) in x.co for w in writes if w is not init)
+
+    def test_dependencies_recorded(self):
+        for x in traced_runs("MP+wmb+addr-rbdep", "Alpha", runs=10):
+            assert len(x.addr) >= 1
+            for r, target in x.addr.pairs:
+                assert r.is_read
+
+    def test_ctrl_recorded(self):
+        for x in traced_runs("LB+ctrl+mb", "ARMv8", runs=10):
+            # Whenever the branch was taken, its write carries ctrl.
+            writes_y = [
+                e for e in x.events
+                if e.is_write and e.loc == "y" and not e.is_init
+            ]
+            for write in writes_y:
+                assert any(b == write for _, b in x.ctrl.pairs)
+
+    def test_rmw_recorded(self):
+        for x in traced_runs("At-inc", "x86", runs=10):
+            assert len(x.rmw) == 2
+            for r, w in x.rmw.pairs:
+                assert r.is_read and w.is_write and r.tid == w.tid
+
+
+class TestExecutionLevelSoundness:
+    @pytest.mark.parametrize("arch_name", ["x86", "Power8", "ARMv8", "ARMv7"])
+    @pytest.mark.parametrize("name", ["SB", "MP", "LB", "WRC", "SB+mbs"])
+    def test_traces_allowed_by_arch_model(self, arch_name, name):
+        arch = get_arch(arch_name)
+        model = load_model(arch.cat_model)
+        for x in traced_runs(name, arch_name, runs=30):
+            result = model.check(x)
+            assert result.allowed, (
+                f"{name}@{arch_name}: the machine performed an execution "
+                f"its own model forbids: {result.describe()}\n{x.describe()}"
+            )
+
+    def test_traces_sc_per_location(self):
+        for x in traced_runs("CoRR", "Power8", runs=30):
+            assert (x.po_loc | x.com).is_acyclic()
+
+    def test_rcu_traces_satisfy_lkmm(self):
+        """Runs of RCU tests (grace periods simulated natively) yield
+        executions the LK model allows — here the trace is at the LK
+        level, so the LKMM itself is the reference."""
+        from repro.lkmm import LinuxKernelModel
+
+        lkmm = LinuxKernelModel()
+        arch = get_arch("SC")
+        for x in sample_executions(
+            library.get("RCU-MP"), arch, runs=20, seed=9, rcu="keep"
+        ):
+            assert lkmm.allows(x)

@@ -1,0 +1,64 @@
+"""Tests for the DOT renderer."""
+
+import pytest
+
+from repro.executions import candidate_executions
+from repro.litmus import library
+from repro.lkmm import LinuxKernelModel
+from repro.viz import cycle_to_dot, to_dot
+
+
+@pytest.fixture(scope="module")
+def witness():
+    program = library.get("MP+wmb+rmb")
+    return next(
+        x
+        for x in candidate_executions(program)
+        if program.condition.evaluate(x.final_state)
+    )
+
+
+class TestToDot:
+    def test_well_formed(self, witness):
+        dot = to_dot(witness)
+        assert dot.startswith("digraph execution {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_threads_as_clusters(self, witness):
+        dot = to_dot(witness)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+
+    def test_events_labelled(self, witness):
+        dot = to_dot(witness)
+        assert "W[once] x=1" in dot
+        assert "F[wmb]" in dot
+
+    def test_communication_edges(self, witness):
+        dot = to_dot(witness)
+        assert 'label="rf"' in dot
+        assert 'label="po"' in dot
+
+    def test_init_writes_hidden_by_default(self, witness):
+        dot = to_dot(witness)
+        assert "init" not in dot
+        dot_with = to_dot(witness, include_init=True)
+        assert "init" in dot_with
+
+    def test_title(self, witness):
+        dot = to_dot(witness, title="my title")
+        assert 'label="my title"' in dot
+
+
+class TestCycleToDot:
+    def test_highlights_cycle(self, witness):
+        model = LinuxKernelModel()
+        result = model.check(witness)
+        violation = next(
+            v for v in result.violations if v.kind == "acyclic"
+        )
+        dot = cycle_to_dot(witness, violation.witness)
+        assert 'label="cycle"' in dot
+        assert "orange" in dot
+        assert "forbidden" in dot
