@@ -6,7 +6,8 @@ Maranget, McKenney, Parri, Stern — ASPLOS 2018): the LK memory model in
 the cat language with a herd-style simulator, the RCU formalisation
 (fundamental law + axiom + theorem checkers), comparison models (C11 and
 per-architecture hardware models), a klitmus-style operational hardware
-simulator, and a diy-style litmus-test generator.
+simulator, a diy-style litmus-test generator, and a static-analysis suite
+(:mod:`repro.analysis`: data-race detection plus cat/litmus linting).
 
 Quickstart::
 
@@ -19,7 +20,9 @@ Quickstart::
 See ``examples/quickstart.py`` for a tour.
 """
 
+from repro import analysis
 from repro import litmus
+from repro.events import Event, ONCE, PLAIN
 from repro.litmus import library as litmus_library
 from repro.litmus.parser import parse_litmus
 from repro.executions import candidate_executions, CandidateExecution
@@ -39,8 +42,12 @@ from repro import diy
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "litmus",
     "litmus_library",
+    "Event",
+    "ONCE",
+    "PLAIN",
     "parse_litmus",
     "candidate_executions",
     "CandidateExecution",

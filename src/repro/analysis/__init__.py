@@ -1,0 +1,54 @@
+"""Static analysis over models, litmus tests, and executions.
+
+Three passes, all new correctness tooling on top of the paper's stack:
+
+* :mod:`repro.analysis.races` — an execution-level data-race detector:
+  conflicting plain accesses unordered by an LKMM-derived happens-before,
+  in the spirit of the real LKMM's plain-access extension (the paper's
+  model covers marked accesses only);
+* :mod:`repro.analysis.catlint` — candidate-independent lint for cat
+  models (undefined identifiers, unknown base sets, unused or shadowing
+  ``let`` bindings, duplicate check names);
+* :mod:`repro.analysis.litmuslint` — lint for litmus programs
+  (uninitialized reads, unused registers, conditions naming unknown
+  registers or locations, syntactic plain-race heuristic, dangling
+  fences).
+
+The ``repro-lint`` command-line tool (:mod:`repro.tools.cli`) drives the
+two linters; ``repro-herd --check-races`` drives the race detector.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.catlint import (
+    lint_all_models,
+    lint_cat,
+    lint_cat_path,
+    lint_cat_source,
+)
+from repro.analysis.litmuslint import lint_library, lint_program
+from repro.analysis.races import (
+    RACE_FREE,
+    RACY,
+    RaceReport,
+    check_races,
+    classify_library,
+    race_order,
+    races_in,
+)
+
+__all__ = [
+    "Finding",
+    "lint_all_models",
+    "lint_cat",
+    "lint_cat_path",
+    "lint_cat_source",
+    "lint_library",
+    "lint_program",
+    "RACE_FREE",
+    "RACY",
+    "RaceReport",
+    "check_races",
+    "classify_library",
+    "race_order",
+    "races_in",
+]

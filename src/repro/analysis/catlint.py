@@ -1,0 +1,227 @@
+"""Candidate-independent lint for cat models.
+
+The cat evaluator (:mod:`repro.cat.eval`) only reports an unbound
+identifier when a check actually *evaluates* the offending expression over
+some candidate execution — a typo in a rarely-exercised branch of a model
+can therefore survive until long after it was introduced.  This pass walks
+a parsed :class:`~repro.cat.ast.CatFile` without any execution and flags:
+
+* ``undefined-identifier`` — a name that is neither a builtin of the
+  evaluation environment nor bound by an earlier ``let``;
+* ``unknown-base-set`` — the same, for capitalised names, which by cat
+  convention denote annotation sets (``Once``, ``Acquire``, ...): the
+  likeliest typo in a model is a misspelt tag set;
+* ``undefined-function`` — an application ``f(...)`` of an unknown
+  function;
+* ``unused-binding`` — a ``let`` binding never referenced by any later
+  expression or check;
+* ``shadowing`` — a ``let`` rebinding a builtin or an earlier binding;
+* ``duplicate-check-name`` — two checks sharing one ``as`` name, which
+  makes their violations indistinguishable in reports;
+* ``missing-include`` — an ``include`` of a file absent from the models
+  directory.
+
+The builtin environment is derived from the same tables the evaluator
+uses (:func:`repro.cat.eval.builtin_environment` and
+:data:`repro.cat.eval.TAG_SETS`), so the two cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.cat import MODELS_DIR, TAG_SETS, parse_cat
+from repro.cat import ast as C
+
+#: Builtin relations of the evaluation environment (see
+#: :func:`repro.cat.eval.builtin_environment`).
+BUILTIN_RELATIONS = frozenset(
+    {"po", "rf", "co", "addr", "data", "ctrl", "rmw", "loc", "int", "ext",
+     "id", "crit"}
+)
+
+#: Builtin event sets: the structural sets plus one set per annotation.
+BUILTIN_SETS = frozenset({"_", "R", "W", "F", "M", "IW"}) | frozenset(TAG_SETS)
+
+#: Builtin functions.
+BUILTIN_FUNCTIONS = frozenset({"domain", "range", "fencerel"})
+
+BUILTINS = BUILTIN_RELATIONS | BUILTIN_SETS
+
+
+def lint_cat(
+    cat_file: C.CatFile, source: Optional[str] = None
+) -> List[Finding]:
+    """Lint one parsed cat model; returns the findings (empty if clean)."""
+    linter = _CatLinter(source or cat_file.name)
+    linter.run(cat_file)
+    return linter.finish()
+
+
+def lint_cat_source(text: str, name: str = "cat-model") -> List[Finding]:
+    """Lint cat model source text."""
+    return lint_cat(parse_cat(text, default_name=name), source=name)
+
+
+def lint_cat_path(path) -> List[Finding]:
+    """Lint a cat model file."""
+    path = Path(path)
+    cat_file = parse_cat(path.read_text(), default_name=path.stem)
+    return lint_cat(cat_file, source=str(path))
+
+
+def lint_all_models() -> Dict[str, List[Finding]]:
+    """Lint every shipped model in ``repro/cat/models/``."""
+    return {
+        path.name: lint_cat_path(path)
+        for path in sorted(MODELS_DIR.glob("*.cat"))
+    }
+
+
+class _CatLinter:
+    """Walks statements in order, tracking bindings and their uses."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.findings: List[Finding] = []
+        #: User bindings, in definition order: name -> kind ("value"/"function").
+        self.bindings: Dict[str, str] = {}
+        self.used: Set[str] = set()
+        self.check_names: Set[str] = set()
+        self.included: Set[str] = set()
+
+    # -- driving ---------------------------------------------------------
+
+    def run(self, cat_file: C.CatFile) -> None:
+        for statement in cat_file.statements:
+            if isinstance(statement, C.Include):
+                self._include(statement)
+            elif isinstance(statement, C.Let):
+                self._let(statement)
+            elif isinstance(statement, C.Check):
+                self._check(statement)
+
+    def finish(self) -> List[Finding]:
+        for name in self.bindings:
+            if name not in self.used:
+                self._report(
+                    "unused-binding",
+                    f"'let {name}' is never used by a later definition or check",
+                )
+        return self.findings
+
+    def _report(self, category: str, message: str) -> None:
+        self.findings.append(Finding(self.source, category, message))
+
+    # -- statements ------------------------------------------------------
+
+    def _include(self, statement: C.Include) -> None:
+        if statement.path in self.included:
+            self._report(
+                "duplicate-include", f'"{statement.path}" included twice'
+            )
+            return
+        self.included.add(statement.path)
+        path = MODELS_DIR / statement.path
+        if not path.exists():
+            self._report(
+                "missing-include",
+                f'included file "{statement.path}" not found in {MODELS_DIR}',
+            )
+            return
+        # Bindings of the included file become visible here, exactly as in
+        # the evaluator; its own findings are reported against its name.
+        included = parse_cat(path.read_text(), default_name=path.stem)
+        self.run(included)
+
+    def _let(self, statement: C.Let) -> None:
+        group = {binding.name for binding in statement.bindings}
+        if len(group) < len(statement.bindings):
+            self._report(
+                "shadowing",
+                "a 'let ... and ...' group binds the same name twice",
+            )
+        if statement.recursive:
+            # Mutually recursive: all names are in scope in every body.
+            for binding in statement.bindings:
+                self._bind(binding)
+            for binding in statement.bindings:
+                self._expr(binding.expr, extra=set(binding.params))
+        else:
+            for binding in statement.bindings:
+                self._expr(binding.expr, extra=set(binding.params))
+                self._bind(binding)
+
+    def _bind(self, binding: C.LetBinding) -> None:
+        if binding.name in BUILTINS or binding.name in BUILTIN_FUNCTIONS:
+            self._report(
+                "shadowing",
+                f"'let {binding.name}' shadows a builtin of the same name",
+            )
+        elif binding.name in self.bindings:
+            self._report(
+                "shadowing",
+                f"'let {binding.name}' shadows an earlier binding",
+            )
+        self.bindings[binding.name] = "function" if binding.params else "value"
+
+    def _check(self, statement: C.Check) -> None:
+        self._expr(statement.expr, extra=set())
+        if statement.name is not None:
+            if statement.name in self.check_names:
+                self._report(
+                    "duplicate-check-name",
+                    f"two checks are named 'as {statement.name}'",
+                )
+            self.check_names.add(statement.name)
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: C.CatExpr, extra: Set[str]) -> None:
+        if isinstance(expr, C.Id):
+            self._name(expr.name, extra)
+        elif isinstance(expr, C.App):
+            if expr.func in self.bindings:
+                self.used.add(expr.func)
+                if self.bindings[expr.func] != "function":
+                    self._report(
+                        "undefined-function",
+                        f"{expr.func!r} is a plain binding, not a function",
+                    )
+            elif expr.func not in BUILTIN_FUNCTIONS:
+                self._report(
+                    "undefined-function", f"unknown function {expr.func!r}"
+                )
+            for arg in expr.args:
+                self._expr(arg, extra)
+        elif isinstance(expr, (C.Union, C.Inter, C.Diff, C.Seq, C.Cartesian)):
+            self._expr(expr.lhs, extra)
+            self._expr(expr.rhs, extra)
+        elif isinstance(expr, (C.Compl, C.Inverse, C.Opt, C.Plus, C.Star,
+                               C.SetId)):
+            self._expr(expr.operand, extra)
+        # EmptyRel has no names.
+
+    def _name(self, name: str, extra: Set[str]) -> None:
+        if name in extra or name in BUILTINS:
+            return
+        if name in self.bindings:
+            self.used.add(name)
+            return
+        if name[:1].isupper():
+            known = ", ".join(sorted(BUILTIN_SETS))
+            self._report(
+                "unknown-base-set",
+                f"unknown base set {name!r} (known sets: {known})",
+            )
+        else:
+            self._report(
+                "undefined-identifier", f"undefined identifier {name!r}"
+            )
+
+
+def describe_findings(findings: Iterable[Finding]) -> str:
+    """Render findings one per line (used by tests and the CLI)."""
+    return "\n".join(f.describe() for f in findings)

@@ -1,0 +1,34 @@
+"""The common finding type shared by the static-analysis passes.
+
+Every pass (:mod:`repro.analysis.catlint`, :mod:`repro.analysis.litmuslint`,
+:mod:`repro.analysis.races`) reports its results as a list of
+:class:`Finding` so the ``repro-lint`` driver can print and count them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    Attributes:
+        source: What was analysed — a cat model name, a litmus test name,
+            or a file path.
+        category: A stable machine-readable category such as
+            ``undefined-identifier`` or ``uninitialized-read``.
+        message: The human-readable description.
+    """
+
+    source: str
+    category: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.source}: {self.category}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.describe()

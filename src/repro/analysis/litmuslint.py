@@ -1,0 +1,345 @@
+"""Candidate-independent lint for litmus programs.
+
+These checks catch the silent typos that make a litmus test vacuous or
+misleading without ever failing to parse or run:
+
+* ``uninitialized-read`` — a location that is read but neither listed in
+  the init block nor written by any thread (herd silently defaults it to
+  0, so the test "works" while testing nothing);
+* ``unused-register`` — a register assigned only by event-free local
+  arithmetic and never read afterwards (registers holding the result of a
+  load or RMW are exempt: the *event* matters even if the value is
+  ignored);
+* ``condition-unknown-register`` / ``condition-unknown-thread`` /
+  ``condition-unknown-location`` — the final-state condition mentions a
+  register, thread, or location the program never defines, so the
+  condition can never match the intended outcome;
+* ``plain-race`` — a heuristic: a plain (non-``ONCE``) access to a
+  location that another thread accesses conflictingly.  This is the
+  syntactic shadow of the execution-level race detector
+  (:mod:`repro.analysis.races`): it cannot see the orderings fences
+  provide, so it over-approximates — use ``repro-herd --check-races`` for
+  the precise verdict;
+* ``dangling-fence`` — an ordering fence (``smp_mb``, ``smp_rmb``,
+  ``smp_wmb``, ``smp_read_barrier_depends``) with no memory access on one
+  side of it in its thread, which orders nothing (the RCU markers are
+  exempt: an ``rcu_read_lock()`` legitimately opens a thread).
+
+All checks are purely syntactic — no candidate executions are enumerated —
+so linting the whole library is instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.events import PLAIN, Pointer, RB_DEP, MB, RMB, WMB
+from repro.litmus.ast import (
+    Assume,
+    BinOp,
+    CmpXchg,
+    Const,
+    Expr,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    Program,
+    Reg,
+    Rmw,
+    RMW_VARIANTS,
+    Store,
+    UnOp,
+)
+from repro.litmus.outcomes import (
+    And,
+    Condition,
+    Exists,
+    Forall,
+    LocValue,
+    Not,
+    NotExists,
+    Or,
+    RegValue,
+)
+from repro.analysis.findings import Finding
+
+#: Fence tags that exist only to order surrounding accesses.
+_ORDERING_FENCES = frozenset({MB, RMB, WMB, RB_DEP})
+
+
+def lint_program(program: Program) -> List[Finding]:
+    """Lint one litmus program; returns the findings (empty if clean)."""
+    linter = _ProgramLinter(program)
+    return linter.run()
+
+
+def lint_library(names: Optional[Sequence[str]] = None) -> Dict[str, List[Finding]]:
+    """Lint named library tests (default: the whole library)."""
+    from repro.litmus import library
+
+    return {
+        name: lint_program(library.get(name))
+        for name in (names if names is not None else library.all_names())
+    }
+
+
+class _Access:
+    """A statically-known access: (tid, is_write, tag)."""
+
+    __slots__ = ("tid", "is_write", "tag")
+
+    def __init__(self, tid: int, is_write: bool, tag: str):
+        self.tid = tid
+        self.is_write = is_write
+        self.tag = tag
+
+
+class _ProgramLinter:
+    def __init__(self, program: Program):
+        self.program = program
+        self.findings: List[Finding] = []
+        #: Static accesses per location (only Const-pointer addresses; an
+        #: access through a register-held pointer has no static location).
+        self.accesses: Dict[str, List[_Access]] = {}
+        self.has_dynamic_store = False
+        self.has_dynamic_load = False
+        #: Per thread: registers assigned at all, assigned by events
+        #: (loads/RMWs), and read.
+        self.assigned: List[Set[str]] = []
+        self.event_assigned: List[Set[str]] = []
+        self.read: List[Set[str]] = []
+
+    def _report(self, category: str, message: str) -> None:
+        self.findings.append(Finding(self.program.name, category, message))
+
+    def run(self) -> List[Finding]:
+        for tid, thread in enumerate(self.program.threads):
+            self.assigned.append(set())
+            self.event_assigned.append(set())
+            self.read.append(set())
+            self._walk_body(tid, thread.body)
+            self._check_fences(tid, thread.body)
+        self._check_condition()
+        self._check_uninitialized_reads()
+        self._check_unused_registers()
+        self._check_plain_races()
+        return self.findings
+
+    # -- collection ------------------------------------------------------
+
+    def _static_loc(self, addr: Expr) -> Optional[str]:
+        if isinstance(addr, Const) and isinstance(addr.value, Pointer):
+            return addr.value.loc
+        return None
+
+    def _record_access(
+        self, tid: int, addr: Expr, is_write: bool, tag: str
+    ) -> None:
+        loc = self._static_loc(addr)
+        if loc is None:
+            if is_write:
+                self.has_dynamic_store = True
+            else:
+                self.has_dynamic_load = True
+            return
+        self.accesses.setdefault(loc, []).append(_Access(tid, is_write, tag))
+
+    def _walk_body(self, tid: int, body: Sequence[Instruction]) -> None:
+        for ins in body:
+            if isinstance(ins, Load):
+                self._use_expr(tid, ins.addr)
+                self._record_access(tid, ins.addr, False, ins.tag)
+                self.assigned[tid].add(ins.reg)
+                self.event_assigned[tid].add(ins.reg)
+            elif isinstance(ins, Store):
+                self._use_expr(tid, ins.addr)
+                self._use_expr(tid, ins.value)
+                self._record_access(tid, ins.addr, True, ins.tag)
+            elif isinstance(ins, Rmw):
+                self._use_expr(tid, ins.addr)
+                self.assigned[tid].add(ins.reg)
+                self.event_assigned[tid].add(ins.reg)
+                # new_value may mention the destination register (it holds
+                # the value just read); that is a use of the RMW's own
+                # result, not of a prior assignment.
+                self._use_expr(tid, ins.new_value)
+                self._record_access(tid, ins.addr, False, ins.read_tag)
+                self._record_access(tid, ins.addr, True, ins.write_tag)
+            elif isinstance(ins, CmpXchg):
+                self._use_expr(tid, ins.addr)
+                self._use_expr(tid, ins.expected)
+                self._use_expr(tid, ins.new_value)
+                self.assigned[tid].add(ins.reg)
+                self.event_assigned[tid].add(ins.reg)
+                read_tag, write_tag, _ = RMW_VARIANTS[ins.variant]
+                self._record_access(tid, ins.addr, False, read_tag)
+                self._record_access(tid, ins.addr, True, write_tag)
+            elif isinstance(ins, LocalAssign):
+                self._use_expr(tid, ins.expr)
+                self.assigned[tid].add(ins.reg)
+            elif isinstance(ins, If):
+                self._use_expr(tid, ins.cond)
+                self._walk_body(tid, ins.then)
+                self._walk_body(tid, ins.orelse)
+            elif isinstance(ins, Assume):
+                self._use_expr(tid, ins.cond)
+
+    def _use_expr(self, tid: int, expr: Expr) -> None:
+        if isinstance(expr, Reg):
+            self.read[tid].add(expr.name)
+        elif isinstance(expr, BinOp):
+            self._use_expr(tid, expr.lhs)
+            self._use_expr(tid, expr.rhs)
+        elif isinstance(expr, UnOp):
+            self._use_expr(tid, expr.operand)
+
+    # -- checks ----------------------------------------------------------
+
+    def _check_uninitialized_reads(self) -> None:
+        if self.has_dynamic_store:
+            return  # a store through a pointer could hit any location
+        for loc, accesses in sorted(self.accesses.items()):
+            if loc in self.program.init:
+                continue
+            if any(a.is_write for a in accesses):
+                continue
+            self._report(
+                "uninitialized-read",
+                f"location {loc!r} is read but never written and not "
+                "initialised (herd defaults it to 0 — is that intended?)",
+            )
+
+    def _check_unused_registers(self) -> None:
+        used_in_condition: Dict[int, Set[str]] = {}
+        for tid, reg in _condition_registers(self.program.condition):
+            used_in_condition.setdefault(tid, set()).add(reg)
+        for tid in range(len(self.assigned)):
+            dead = (
+                self.assigned[tid]
+                - self.event_assigned[tid]  # loads/RMWs are events, exempt
+                - self.read[tid]
+                - used_in_condition.get(tid, set())
+            )
+            for reg in sorted(dead):
+                self._report(
+                    "unused-register",
+                    f"P{tid} assigns register {reg!r} but never uses it",
+                )
+
+    def _check_condition(self) -> None:
+        condition = self.program.condition
+        if condition is None:
+            return
+        known_locs = set(self.program.init) | set(self.accesses)
+        num_threads = self.program.num_threads
+        for tid, reg in _condition_registers(condition):
+            if tid >= num_threads:
+                self._report(
+                    "condition-unknown-thread",
+                    f"condition mentions thread {tid}, but the test has "
+                    f"only P0..P{num_threads - 1}",
+                )
+            elif reg not in self.assigned[tid]:
+                self._report(
+                    "condition-unknown-register",
+                    f"condition mentions {tid}:{reg}, but P{tid} never "
+                    f"assigns {reg!r}",
+                )
+        for loc in _condition_locations(condition):
+            if loc not in known_locs and not self.has_dynamic_store:
+                self._report(
+                    "condition-unknown-location",
+                    f"condition mentions location {loc!r}, which the "
+                    "program neither initialises nor accesses",
+                )
+
+    def _check_plain_races(self) -> None:
+        for loc, accesses in sorted(self.accesses.items()):
+            plains = [a for a in accesses if a.tag == PLAIN]
+            for plain in plains:
+                conflicting = [
+                    other
+                    for other in accesses
+                    if other.tid != plain.tid
+                    and (other.is_write or plain.is_write)
+                ]
+                if conflicting:
+                    kind = "write" if plain.is_write else "read"
+                    self._report(
+                        "plain-race",
+                        f"plain {kind} of {loc!r} on P{plain.tid} may race "
+                        f"with P{conflicting[0].tid} (syntactic check; run "
+                        "the race detector for the execution-level verdict)",
+                    )
+                    break  # one finding per location is enough
+
+    def _check_fences(self, tid: int, body: Sequence[Instruction]) -> None:
+        flat = _flatten(body)
+        for index, ins in enumerate(flat):
+            if not isinstance(ins, Fence) or ins.tag not in _ORDERING_FENCES:
+                continue
+            before = any(_is_access(prior) for prior in flat[:index])
+            after = any(_is_access(later) for later in flat[index + 1:])
+            if not before or not after:
+                side = "before" if not before else "after"
+                self._report(
+                    "dangling-fence",
+                    f"P{tid} has an {ins.tag} fence with no memory access "
+                    f"{side} it — it orders nothing",
+                )
+
+
+def _flatten(body: Sequence[Instruction]) -> List[Instruction]:
+    """Linearise a body; If contributes both branches (presence check)."""
+    out: List[Instruction] = []
+    for ins in body:
+        if isinstance(ins, If):
+            out.extend(_flatten(ins.then))
+            out.extend(_flatten(ins.orelse))
+        else:
+            out.append(ins)
+    return out
+
+
+def _is_access(ins: Instruction) -> bool:
+    return isinstance(ins, (Load, Store, Rmw, CmpXchg))
+
+
+def _condition_registers(
+    condition: Optional[Condition],
+) -> List[Tuple[int, str]]:
+    out: List[Tuple[int, str]] = []
+    _walk_condition(condition, out, [])
+    return out
+
+
+def _condition_locations(condition: Optional[Condition]) -> List[str]:
+    out: List[str] = []
+    _walk_condition(condition, [], out)
+    return out
+
+
+def _walk_condition(
+    condition: Optional[Condition],
+    regs: List[Tuple[int, str]],
+    locs: List[str],
+) -> None:
+    if condition is None:
+        return
+    if isinstance(condition, (Exists, NotExists, Forall)):
+        _walk_condition(condition.body, regs, locs)
+    elif isinstance(condition, (And, Or)):
+        _walk_condition(condition.lhs, regs, locs)
+        _walk_condition(condition.rhs, regs, locs)
+    elif isinstance(condition, Not):
+        _walk_condition(condition.operand, regs, locs)
+    elif isinstance(condition, RegValue):
+        regs.append((condition.tid, condition.reg))
+        if isinstance(condition.value, Pointer):
+            locs.append(condition.value.loc)
+    elif isinstance(condition, LocValue):
+        locs.append(condition.loc)
+        if isinstance(condition.value, Pointer):
+            locs.append(condition.value.loc)

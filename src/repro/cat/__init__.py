@@ -16,11 +16,28 @@ This package implements the cat subset the paper's models need:
 * the checks ``acyclic``, ``irreflexive``, ``empty`` (optionally negated
   with ``~`` and/or marked ``flag``).
 
-Model files live in ``repro/cat/models/*.cat`` and are loaded with
-:func:`load_model`.
+Model files live in ``repro/cat/models/*.cat`` (:data:`MODELS_DIR`) and
+are loaded with :func:`load_model`.  :mod:`repro.analysis.catlint` checks
+them statically — without enumerating any candidate execution — against
+the same builtin environment the evaluator uses.
 """
 
-from repro.cat.eval import CatModel, CatError, load_model, builtin_environment
+from repro.cat.eval import (
+    CatModel,
+    CatError,
+    MODELS_DIR,
+    TAG_SETS,
+    builtin_environment,
+    load_model,
+)
 from repro.cat.parser import parse_cat
 
-__all__ = ["CatModel", "CatError", "load_model", "parse_cat", "builtin_environment"]
+__all__ = [
+    "CatModel",
+    "CatError",
+    "MODELS_DIR",
+    "TAG_SETS",
+    "load_model",
+    "parse_cat",
+    "builtin_environment",
+]

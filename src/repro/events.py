@@ -47,6 +47,32 @@ LK_FENCE_TAGS = frozenset({RMB, WMB, MB, RB_DEP, RCU_LOCK, RCU_UNLOCK, SYNC_RCU}
 #: Thread id used for the implicit initialising writes.
 INIT_TID = -1
 
+__all__ = [
+    "READ",
+    "WRITE",
+    "FENCE",
+    "ONCE",
+    "ACQUIRE",
+    "RELEASE",
+    "RMB",
+    "WMB",
+    "MB",
+    "RB_DEP",
+    "RCU_LOCK",
+    "RCU_UNLOCK",
+    "SYNC_RCU",
+    "PLAIN",
+    "NOOP",
+    "LK_READ_TAGS",
+    "LK_WRITE_TAGS",
+    "LK_FENCE_TAGS",
+    "INIT_TID",
+    "Pointer",
+    "Value",
+    "Event",
+    "fresh_labels",
+]
+
 
 @dataclass(frozen=True, order=True)
 class Pointer:

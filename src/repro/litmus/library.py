@@ -12,6 +12,7 @@ the benchmarks compare our implementations against it.
 
 from __future__ import annotations
 
+import difflib
 from functools import lru_cache
 from typing import Dict, List
 
@@ -1281,13 +1282,21 @@ EXTRA_VERDICTS: Dict[str, str] = {
 
 @lru_cache(maxsize=None)
 def get(name: str) -> Program:
-    """The named test, parsed."""
+    """The named test, parsed.
+
+    An unknown name raises :class:`KeyError` with close-match suggestions
+    (``get("MP+wmb+rnb")`` suggests ``MP+wmb+rmb``) rather than dumping
+    the whole catalogue.
+    """
     try:
         source = SOURCES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown litmus test {name!r}; known: {sorted(SOURCES)}"
-        ) from None
+        close = difflib.get_close_matches(name, SOURCES, n=3, cutoff=0.5)
+        if close:
+            hint = f"did you mean {' or '.join(repr(c) for c in close)}?"
+        else:
+            hint = f"see all_names() for the {len(SOURCES)} known tests"
+        raise KeyError(f"unknown litmus test {name!r}; {hint}") from None
     return parse_litmus(source)
 
 

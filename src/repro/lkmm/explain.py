@@ -54,6 +54,55 @@ def _edge_name(
     return "?"
 
 
+def explain_race(
+    execution: CandidateExecution,
+    a: Event,
+    b: Event,
+    relations: Optional[LkmmRelations] = None,
+) -> str:
+    """A human-readable explanation of a data race between ``a`` and ``b``.
+
+    Used by :mod:`repro.analysis.races`: the pair is conflicting (same
+    location, different threads, at least one write, at least one plain)
+    and unordered by the race happens-before.  The explanation names the
+    strongest relation that *does* connect the pair — typically a raw
+    communication edge (``rfe``, ``coe``, ``fre``), which plain accesses do
+    not turn into synchronisation — or reports the pair fully unordered.
+    """
+    rel = relations if relations is not None else LkmmRelations(execution)
+    lines: List[str] = [execution.describe()]
+
+    def _name(e: Event) -> str:
+        return e.label or f"e{e.eid}"
+
+    plain_sides = [e for e in (a, b) if e.has_tag("plain")]
+    lines.append(
+        f"data race on {a.loc!r}: {a!r} (T{a.tid}) vs {b!r} (T{b.tid}), "
+        f"{'both' if len(plain_sides) == 2 else 'one side'} plain"
+    )
+    forward = _edge_name(rel, a, b)
+    backward = _edge_name(rel, b, a)
+    if forward != "?":
+        lines.append(
+            f"  {_name(a)} -{forward}-> {_name(b)} connects them, but a "
+            f"{forward} edge between plain accesses is not synchronisation"
+        )
+    elif backward != "?":
+        lines.append(
+            f"  {_name(b)} -{backward}-> {_name(a)} connects them, but a "
+            f"{backward} edge between plain accesses is not synchronisation"
+        )
+    else:
+        lines.append(
+            f"  no LKMM relation orders {_name(a)} and {_name(b)} at all"
+        )
+    lines.append(
+        "  neither direction is in the race happens-before "
+        "(ppo | marked-rfe | prop-derived orderings)"
+    )
+    return "\n".join(lines)
+
+
 def explain_forbidden(
     execution: CandidateExecution, model: Optional[LinuxKernelModel] = None
 ) -> str:

@@ -304,8 +304,18 @@ class LinuxKernelModel(Model):
     def relations(self, execution: CandidateExecution) -> LkmmRelations:
         return LkmmRelations(execution, with_rcu=self.with_rcu)
 
-    def check(self, execution: CandidateExecution) -> ModelResult:
-        rel = self.relations(execution)
+    def check(
+        self,
+        execution: CandidateExecution,
+        relations: Optional[LkmmRelations] = None,
+    ) -> ModelResult:
+        """Judge one execution.
+
+        ``relations`` may be a precomputed :class:`LkmmRelations` for this
+        execution (the race detector passes the instance it inspects, so
+        the cached derived relations are computed once).
+        """
+        rel = relations if relations is not None else self.relations(execution)
         x = execution
         violations: List[AxiomViolation] = []
 

@@ -6,6 +6,8 @@
   klitmus): ``repro-klitmus --arch Power8 --runs 10000 SB``
 * ``repro-diy`` — generate a litmus test from a cycle of edges (like
   diy7): ``repro-diy Rfe RmbdRR Fre WmbdWW``
+* ``repro-lint`` — static analysis over cat models and litmus tests:
+  ``repro-lint --all-models --library``, ``repro-lint my.cat my.litmus``
 
 Test arguments are either names from the built-in library or paths to
 litmus files.
@@ -66,6 +68,12 @@ def herd_main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="print the histogram of reachable final states, herd-style",
     )
+    parser.add_argument(
+        "--check-races",
+        action="store_true",
+        help="also classify each test as Racy / Race-free (LKMM-derived "
+        "data-race detector over plain accesses)",
+    )
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
 
@@ -73,6 +81,15 @@ def herd_main(argv: List[str] | None = None) -> int:
     for program in _resolve_tests(args.tests):
         result = run_litmus(model, program)
         print(result.describe())
+        if args.check_races:
+            from repro.analysis.races import check_races
+
+            race_model = (
+                model
+                if isinstance(model, LinuxKernelModel)
+                else LinuxKernelModel()
+            )
+            print(check_races(program, model=race_model).describe())
         if args.states:
             print(f"States {len(result.states)}")
             for state in sorted(result.states, key=repr):
@@ -153,6 +170,96 @@ def diy_main(argv: List[str] | None = None) -> int:
     if args.check:
         result = run_litmus(LinuxKernelModel(), program)
         print(result.describe())
+    return 0
+
+
+def lint_main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis: lint cat models and litmus tests, "
+        "optionally race-classify litmus tests.",
+    )
+    parser.add_argument(
+        "--all-models",
+        action="store_true",
+        help="lint every cat model shipped in repro/cat/models/",
+    )
+    parser.add_argument(
+        "--library",
+        action="store_true",
+        help="lint every litmus test in the built-in library",
+    )
+    parser.add_argument(
+        "--races",
+        action="store_true",
+        help="also run the execution-level data-race detector on every "
+        "linted litmus test (slower: enumerates candidate executions)",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="explicit .cat / .litmus files, or library test names",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.catlint import lint_all_models, lint_cat_path
+    from repro.analysis.litmuslint import lint_library, lint_program
+    from repro.analysis.races import check_races
+
+    if not args.all_models and not args.library and not args.targets:
+        args.all_models = True
+        args.library = True
+
+    findings = []
+    race_targets: List[Program] = []
+
+    if args.all_models:
+        for model_findings in lint_all_models().values():
+            findings.extend(model_findings)
+    if args.library:
+        for name, test_findings in lint_library().items():
+            findings.extend(test_findings)
+        if args.races:
+            race_targets.extend(
+                library.get(name) for name in library.all_names()
+            )
+    for target in args.targets:
+        path = Path(target)
+        try:
+            if path.suffix == ".cat":
+                findings.extend(lint_cat_path(path))
+            else:
+                if path.exists():
+                    program = parse_litmus(path.read_text())
+                else:
+                    program = library.get(target)
+                findings.extend(lint_program(program))
+                if args.races:
+                    race_targets.append(program)
+        except (KeyError, OSError) as error:
+            # str(KeyError) wraps the message in quotes; unwrap it.
+            if isinstance(error, KeyError) and error.args:
+                message = error.args[0]
+            else:
+                message = str(error)
+            print(f"repro-lint: {target}: {message}", file=sys.stderr)
+            return 2
+
+    for finding in findings:
+        print(finding.describe())
+
+    racy = 0
+    for program in race_targets:
+        report = check_races(program)
+        print(report.describe())
+        if report.racy:
+            racy += 1
+
+    total = len(findings) + racy
+    if total:
+        print(f"{len(findings)} finding(s), {racy} racy test(s)")
+        return 1
+    print("clean")
     return 0
 
 

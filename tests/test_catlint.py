@@ -1,0 +1,100 @@
+"""Tests for the cat-model linter."""
+
+import pytest
+
+from repro.analysis.catlint import (
+    lint_all_models,
+    lint_cat_path,
+    lint_cat_source,
+)
+from repro.cat.eval import MODELS_DIR
+
+
+def categories(findings):
+    return [f.category for f in findings]
+
+
+class TestShippedModels:
+    def test_all_shipped_models_lint_clean(self):
+        reports = lint_all_models()
+        assert reports, "no models found"
+        dirty = {
+            name: [f.describe() for f in findings]
+            for name, findings in reports.items()
+            if findings
+        }
+        assert dirty == {}
+
+    def test_lkmm_model_file_directly(self):
+        assert lint_cat_path(MODELS_DIR / "lkmm.cat") == []
+
+
+class TestInjectedTypos:
+    def test_undefined_identifier_flagged(self):
+        # The evaluator would only catch 'frr' once a check evaluates it;
+        # the linter catches it statically.
+        findings = lint_cat_source(
+            '"m"\nlet com = rf | co | frr\nacyclic com as c\n'
+        )
+        assert categories(findings) == ["undefined-identifier"]
+        assert "'frr'" in findings[0].message
+
+    def test_typo_injected_into_real_model(self):
+        text = (MODELS_DIR / "lkmm.cat").read_text()
+        broken = text.replace("rfe", "rfee", 1)
+        findings = lint_cat_source(broken, name="lkmm-broken")
+        assert "undefined-identifier" in categories(findings)
+
+    def test_unknown_base_set_flagged_with_suggestions(self):
+        findings = lint_cat_source('"m"\nlet a = po & (Onnce * _)\nacyclic a\n')
+        assert "unknown-base-set" in categories(findings)
+        assert "known sets:" in findings[0].message
+
+    def test_undefined_function(self):
+        findings = lint_cat_source('"m"\nlet a = fencerelx(Mb)\nacyclic a\n')
+        assert "undefined-function" in categories(findings)
+
+    def test_unused_binding(self):
+        findings = lint_cat_source(
+            '"m"\nlet dead = po\nacyclic rf as c\n'
+        )
+        assert categories(findings) == ["unused-binding"]
+
+    def test_shadowing_builtin(self):
+        findings = lint_cat_source('"m"\nlet po = rf\nacyclic po as c\n')
+        assert "shadowing" in categories(findings)
+
+    def test_shadowing_earlier_binding(self):
+        findings = lint_cat_source(
+            '"m"\nlet a = po\nlet a = rf\nacyclic a as c\n'
+        )
+        assert "shadowing" in categories(findings)
+
+    def test_duplicate_check_name(self):
+        findings = lint_cat_source(
+            '"m"\nacyclic po as c\nacyclic rf as c\n'
+        )
+        assert "duplicate-check-name" in categories(findings)
+
+    def test_missing_include(self):
+        findings = lint_cat_source('"m"\ninclude "no-such.cat"\nacyclic po\n')
+        assert "missing-include" in categories(findings)
+
+
+class TestScoping:
+    def test_let_rec_sees_itself(self):
+        findings = lint_cat_source(
+            '"m"\nlet rec r = po | (r ; r)\nacyclic r as c\n'
+        )
+        assert findings == []
+
+    def test_function_params_in_scope(self):
+        findings = lint_cat_source(
+            '"m"\nlet twice(r) = r ; r\nacyclic twice(po) as c\n'
+        )
+        assert findings == []
+
+    def test_findings_carry_source(self):
+        findings = lint_cat_source('"m"\nacyclic nope as c\n', name="my-model")
+        assert findings[0].source == "my-model"
+        assert "my-model" in findings[0].describe()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tools.cli import diy_main, herd_main, klitmus_main
+from repro.tools.cli import diy_main, herd_main, klitmus_main, lint_main
 
 
 class TestHerdCli:
@@ -83,3 +83,86 @@ class TestHerdStates:
         out = capsys.readouterr().out
         assert "States 3" in out
         assert "Observation MP+wmb+rmb Never" in out
+
+
+PLAIN_MP = (
+    "C MP+plain\n{ x=0; y=0; }\n"
+    "P0(int *x, int *y) { *x = 1; WRITE_ONCE(*y, 1); }\n"
+    "P1(int *x, int *y) { int r0 = READ_ONCE(*y); int r1 = *x; }\n"
+    "exists (1:r0=1 /\\ 1:r1=0)\n"
+)
+
+
+class TestHerdCheckRaces:
+    def test_race_free_library_test(self, capsys):
+        assert herd_main(
+            ["--model", "lkmm-native", "--check-races", "MP"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MP: Race-free" in out
+
+    def test_racy_file(self, tmp_path, capsys):
+        litmus = tmp_path / "mp-plain.litmus"
+        litmus.write_text(PLAIN_MP)
+        assert herd_main(
+            ["--model", "lkmm-native", "--check-races", str(litmus)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MP+plain: Racy" in out
+        assert "data race on 'x'" in out
+
+    def test_works_with_cat_model(self, capsys):
+        # The race detector always uses the native LKMM, whatever --model.
+        assert herd_main(["--model", "sc", "--check-races", "MP"]) == 0
+        assert "Race-free" in capsys.readouterr().out
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert lint_main(["--all-models", "--library"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_no_args_defaults_to_everything(self, capsys):
+        assert lint_main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_cat_typo_exits_one(self, tmp_path, capsys):
+        cat = tmp_path / "broken.cat"
+        cat.write_text('"broken"\nlet com = rf | co | frr\nacyclic com as c\n')
+        assert lint_main([str(cat)]) == 1
+        out = capsys.readouterr().out
+        assert "undefined-identifier" in out
+        assert "'frr'" in out
+
+    def test_seeded_uninitialized_read_exits_one(self, tmp_path, capsys):
+        litmus = tmp_path / "uninit.litmus"
+        litmus.write_text(
+            "C uninit\n{ y=0; }\n"
+            "P0(int *x, int *y) { int r0 = READ_ONCE(*x); "
+            "WRITE_ONCE(*y, 1); }\n"
+            "P1(int *y) { int r1 = READ_ONCE(*y); }\n"
+            "exists (0:r0=0 /\\ 1:r1=1)\n"
+        )
+        assert lint_main([str(litmus)]) == 1
+        assert "uninitialized-read" in capsys.readouterr().out
+
+    def test_library_name_as_target(self, capsys):
+        assert lint_main(["MP+wmb+rmb"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_races_flag_exits_one_on_racy_test(self, tmp_path, capsys):
+        litmus = tmp_path / "mp-plain.litmus"
+        litmus.write_text(PLAIN_MP)
+        assert lint_main(["--races", str(litmus)]) == 1
+        out = capsys.readouterr().out
+        assert "MP+plain: Racy" in out
+        assert "1 racy test(s)" in out
+
+    def test_unknown_target_exits_two_with_suggestion(self, capsys):
+        assert lint_main(["MP+wmb+rnb"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "MP+wmb+rmb" in err
+
+    def test_missing_cat_file_exits_two(self, capsys):
+        assert lint_main(["no-such-file.cat"]) == 2
+        assert "no-such-file.cat" in capsys.readouterr().err

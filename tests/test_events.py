@@ -21,6 +21,24 @@ def _event(eid, kind=READ, tag=ONCE, tid=0, po=0, loc="x", value=0):
     return Event(eid=eid, tid=tid, po_index=po, kind=kind, tag=tag, loc=loc, value=value)
 
 
+class TestExports:
+    def test_plain_is_public(self):
+        import repro
+        import repro.events
+
+        assert "PLAIN" in repro.events.__all__
+        assert repro.events.PLAIN == "plain"
+        # Re-exported at the top level alongside Event and ONCE.
+        assert repro.PLAIN == "plain"
+        assert repro.Event is Event
+
+    def test_all_names_resolve(self):
+        import repro.events
+
+        for name in repro.events.__all__:
+            assert hasattr(repro.events, name)
+
+
 class TestEvent:
     def test_kind_predicates(self):
         read = _event(0, READ)

@@ -272,3 +272,21 @@ class TestLibraryRoundTrip:
             assert program.name == name
             assert program.num_threads >= 1
             assert program.condition is not None
+
+
+class TestLibraryLookup:
+    def test_unknown_name_suggests_close_matches(self):
+        from repro.litmus import library
+
+        with pytest.raises(KeyError) as excinfo:
+            library.get("MP+wmb+rnb")
+        message = str(excinfo.value)
+        assert "did you mean" in message
+        assert "MP+wmb+rmb" in message
+
+    def test_unknown_name_without_close_match(self):
+        from repro.litmus import library
+
+        with pytest.raises(KeyError) as excinfo:
+            library.get("completely-unrelated-name")
+        assert "all_names()" in str(excinfo.value)

@@ -1,0 +1,163 @@
+"""Tests for the litmus-test linter."""
+
+import pytest
+
+from repro.analysis.litmuslint import lint_library, lint_program
+from repro.litmus import library
+from repro.litmus.parser import parse_litmus
+
+
+def categories(findings):
+    return [f.category for f in findings]
+
+
+def lint_text(text):
+    return lint_program(parse_litmus(text))
+
+
+class TestLibraryIsClean:
+    def test_whole_library_lints_clean(self):
+        reports = lint_library()
+        dirty = {
+            name: [f.describe() for f in findings]
+            for name, findings in reports.items()
+            if findings
+        }
+        assert dirty == {}
+        assert len(reports) == len(library.all_names())
+
+
+class TestUninitializedRead:
+    def test_read_of_never_written_location(self):
+        findings = lint_text(
+            "C t\n{ y=0; }\n"
+            "P0(int *x, int *y) { int r0 = READ_ONCE(*x); "
+            "WRITE_ONCE(*y, 1); }\n"
+            "P1(int *y) { int r1 = READ_ONCE(*y); }\n"
+            "exists (0:r0=0 /\\ 1:r1=1)\n"
+        )
+        assert "uninitialized-read" in categories(findings)
+        assert "'x'" in [f for f in findings
+                         if f.category == "uninitialized-read"][0].message
+
+    def test_initialised_location_is_fine(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r0=1)\n"
+        )
+        assert findings == []
+
+    def test_written_but_uninitialised_location_is_fine(self):
+        # herd defaults it to 0 but a write exists, so the test is not
+        # vacuous.
+        findings = lint_text(
+            "C t\n{ }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r0=1)\n"
+        )
+        assert "uninitialized-read" not in categories(findings)
+
+
+class TestUnusedRegister:
+    def test_dead_local_assign(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { int r0 = 7; WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r1 = READ_ONCE(*x); }\n"
+            "exists (1:r1=1)\n"
+        )
+        assert "unused-register" in categories(findings)
+
+    def test_load_destination_is_exempt(self):
+        # The read *event* matters even when the value is ignored
+        # (e.g. SB+xchgs ignores the fetched value).
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "forall (x=1)\n"
+        )
+        assert "unused-register" not in categories(findings)
+
+    def test_condition_use_counts(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { int r0 = 1; WRITE_ONCE(*x, r0); }\n"
+            "P1(int *x) { int r1 = READ_ONCE(*x); }\n"
+            "exists (1:r1=1)\n"
+        )
+        assert "unused-register" not in categories(findings)
+
+
+class TestConditionChecks:
+    def test_unknown_register(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r9=1)\n"
+        )
+        assert "condition-unknown-register" in categories(findings)
+
+    def test_unknown_thread(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (5:r0=1)\n"
+        )
+        assert "condition-unknown-thread" in categories(findings)
+
+    def test_unknown_location(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r0=1 /\\ z=0)\n"
+        )
+        assert "condition-unknown-location" in categories(findings)
+
+
+class TestPlainRaceHeuristic:
+    def test_plain_conflict_flagged(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { *x = 1; }\n"
+            "P1(int *x) { int r0 = *x; }\n"
+            "exists (1:r0=1)\n"
+        )
+        assert "plain-race" in categories(findings)
+
+    def test_marked_accesses_not_flagged(self):
+        assert lint_program(library.get("MP")) == []
+
+    def test_single_thread_plain_not_flagged(self):
+        findings = lint_text(
+            "C t\n{ x=0; y=0; }\n"
+            "P0(int *x, int *y) { *x = 1; int r0 = *x; "
+            "WRITE_ONCE(*y, r0); }\n"
+            "P1(int *y) { int r1 = READ_ONCE(*y); }\n"
+            "exists (1:r1=1)\n"
+        )
+        assert "plain-race" not in categories(findings)
+
+
+class TestDanglingFence:
+    def test_fence_at_end_of_thread(self):
+        findings = lint_text(
+            "C t\n{ x=0; }\n"
+            "P0(int *x) { WRITE_ONCE(*x, 1); smp_wmb(); }\n"
+            "P1(int *x) { int r0 = READ_ONCE(*x); }\n"
+            "exists (1:r0=1)\n"
+        )
+        assert "dangling-fence" in categories(findings)
+
+    def test_fence_between_accesses_is_fine(self):
+        assert lint_program(library.get("MP+wmb+rmb")) == []
+
+    def test_rcu_markers_exempt(self):
+        # rcu_read_lock() legitimately opens a thread body.
+        assert lint_program(library.get("RCU-MP")) == []

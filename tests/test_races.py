@@ -1,0 +1,191 @@
+"""Tests for the LKMM-derived data-race detector."""
+
+import pytest
+
+from repro.analysis.races import (
+    RACE_FREE,
+    RACY,
+    check_races,
+    classify_library,
+    race_order,
+    races_in,
+)
+from repro.events import PLAIN
+from repro.executions.enumerate import candidate_executions
+from repro.litmus import library
+from repro.litmus.parser import parse_litmus
+from repro.lkmm import LinuxKernelModel
+from repro.lkmm.model import LkmmRelations
+
+MP_PLAIN = """
+C MP+plain
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  *x = 1;
+  WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y) {
+  int r0 = READ_ONCE(*y);
+  int r1 = *x;
+}
+exists (1:r0=1 /\\ 1:r1=0)
+"""
+
+# Fences alone do not save an *ungated* plain reader: in the execution
+# where P1 misses the flag there is no ordering chain at all, exactly as
+# the real LKMM judges it.
+MP_PLAIN_FENCED = """
+C MP+plain+wmb+rmb
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  *x = 1;
+  smp_wmb();
+  WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y) {
+  int r0 = READ_ONCE(*y);
+  smp_rmb();
+  int r1 = *x;
+}
+exists (1:r0=1 /\\ 1:r1=0)
+"""
+
+# The classic race-free idiom: the plain read only executes once the
+# marked flag has been observed, so every execution containing it has the
+# wmb ; marked-rfe ; rmb chain ordering it after the plain write.
+MP_PLAIN_GATED = """
+C MP+plain-gated+wmb+rmb
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  *x = 1;
+  smp_wmb();
+  WRITE_ONCE(*y, 1);
+}
+P1(int *x, int *y) {
+  int r0 = READ_ONCE(*y);
+  if (r0 == 1) {
+    smp_rmb();
+    int r1 = *x;
+  }
+}
+exists (1:r0=1 /\\ 1:r1=0)
+"""
+
+SB_PLAIN = """
+C SB+plain
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  *x = 1;
+  int r0 = *y;
+}
+P1(int *x, int *y) {
+  *y = 1;
+  int r1 = *x;
+}
+exists (0:r0=0 /\\ 1:r1=0)
+"""
+
+
+class TestVerdicts:
+    def test_plain_mp_is_racy(self):
+        report = check_races(parse_litmus(MP_PLAIN))
+        assert report.racy
+        assert report.verdict == RACY
+        assert report.pair is not None
+        a, b = report.pair
+        assert a.loc == b.loc == "x"
+        assert a.tid != b.tid
+        assert a.has_tag(PLAIN) or b.has_tag(PLAIN)
+
+    def test_ungated_fenced_plain_mp_still_racy(self):
+        # Racy in the execution where the reader misses the flag.
+        report = check_races(parse_litmus(MP_PLAIN_FENCED))
+        assert report.racy
+
+    def test_gated_fenced_plain_mp_race_free(self):
+        report = check_races(parse_litmus(MP_PLAIN_GATED))
+        assert not report.racy
+        assert report.verdict == RACE_FREE
+        assert report.consistent > 0
+
+    def test_plain_sb_is_racy(self):
+        assert check_races(parse_litmus(SB_PLAIN)).racy
+
+    def test_marked_mp_race_free(self):
+        report = check_races(library.get("MP"))
+        assert not report.racy
+        assert report.pair is None
+        assert report.consistent == report.candidates > 0
+
+    def test_marked_sb_race_free(self):
+        assert not check_races(library.get("SB")).racy
+
+
+class TestWitness:
+    def test_witness_is_consistent_and_explained(self):
+        report = check_races(parse_litmus(MP_PLAIN))
+        assert report.witness is not None
+        assert LinuxKernelModel().check(report.witness).allowed
+        assert "data race on 'x'" in report.explanation
+        assert "not synchronisation" in report.explanation
+        assert report.explanation in report.describe()
+
+    def test_race_free_describe_is_one_line(self):
+        report = check_races(library.get("MP"))
+        assert report.describe() == (
+            f"MP: Race-free ({report.consistent} consistent / "
+            f"{report.candidates} candidates)"
+        )
+
+
+class TestRaceOrder:
+    def test_plain_rfe_is_not_synchronisation(self):
+        # In MP+plain, the execution where d reads a's plain write has a
+        # plain rfe edge; hb contains it, race_order must not.
+        program = parse_litmus(MP_PLAIN)
+        for execution in candidate_executions(
+            program, require_sc_per_location=True
+        ):
+            rel = LkmmRelations(execution)
+            order = race_order(rel)
+            plain_rfe = [
+                (w, r)
+                for (w, r) in execution.rfe.pairs
+                if w.has_tag(PLAIN) and r.has_tag(PLAIN)
+            ]
+            for pair in plain_rfe:
+                assert pair in rel.hb
+                assert pair not in order
+
+    def test_marked_rfe_is_synchronisation(self):
+        program = library.get("MP")
+        found = False
+        for execution in candidate_executions(
+            program, require_sc_per_location=True
+        ):
+            rel = LkmmRelations(execution)
+            order = race_order(rel)
+            for pair in execution.rfe.pairs:
+                found = True
+                assert pair in order
+        assert found
+
+    def test_races_in_symmetric_free_on_marked_test(self):
+        for execution in candidate_executions(
+            library.get("SB+mbs"), require_sc_per_location=True
+        ):
+            assert races_in(execution) == []
+
+
+class TestLibrary:
+    def test_whole_library_is_race_free(self):
+        # Every shipped test uses marked accesses (or plain ones ordered
+        # by the spinlock emulation), so none should be racy.
+        reports = classify_library()
+        racy = [name for name, report in reports.items() if report.racy]
+        assert racy == []
+        assert len(reports) == len(library.all_names())
+
+    def test_subset_selection(self):
+        reports = classify_library(names=["MP", "SB"])
+        assert sorted(reports) == ["MP", "SB"]

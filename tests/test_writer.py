@@ -53,6 +53,44 @@ class TestRoundTrip:
         assert a.candidates == b.candidates
 
 
+class TestPlainAccesses:
+    PLAIN_TEXT = (
+        "C plain-roundtrip\n{ x=0; y=0; p=&x; }\n"
+        "P0(int *x, int *y) { *x = 1; smp_wmb(); WRITE_ONCE(*y, 1); }\n"
+        "P1(int *x, int *y, int **p) { int r0 = READ_ONCE(*y); "
+        "int r1 = *x; int r2 = *p; int r3 = *r2; }\n"
+        "exists (1:r0=1 /\\ 1:r1=0)\n"
+    )
+
+    def test_plain_accesses_round_trip(self, lkmm):
+        from repro.events import PLAIN
+
+        original = parse_litmus(self.PLAIN_TEXT)
+        text = write_litmus(original)
+        # Plain accesses keep their bare-dereference spelling.
+        assert "*x = 1;" in text
+        assert "r1 = *x;" in text
+        assert "r3 = *r2;" in text
+        assert "READ_ONCE" in text  # marked accesses stay marked
+        reparsed = parse_litmus(text)
+        a = run_litmus(lkmm, original)
+        b = run_litmus(lkmm, reparsed)
+        assert a.verdict == b.verdict
+        assert a.candidates == b.candidates
+
+    def test_plain_tag_survives_reparse(self):
+        from repro.events import PLAIN
+        from repro.litmus.ast import Load, Store
+
+        reparsed = parse_litmus(
+            write_litmus(parse_litmus(self.PLAIN_TEXT))
+        )
+        p0, p1 = reparsed.threads
+        assert isinstance(p0.body[0], Store) and p0.body[0].tag == PLAIN
+        loads = [ins for ins in p1.body if isinstance(ins, Load)]
+        assert [load.tag for load in loads] == ["once", PLAIN, PLAIN, PLAIN]
+
+
 class TestSpellings:
     def test_fences_spelled(self):
         text = write_litmus(library.get("RCU-MP"))
