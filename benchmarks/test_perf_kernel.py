@@ -1,0 +1,172 @@
+"""Benchmark: the :mod:`repro.kernel` execution kernel vs the reference path.
+
+Times three workloads — a 2-thread message-passing test, a 3-thread
+write-to-read-causality test, and the Section 6 RCU-implementation
+verification (the package's heaviest single run) — under
+
+* the *reference* configuration: frozenset-of-pairs relations, naive
+  enumerate-then-filter checking;
+* the *kernel* configuration (the default): integer-indexed bitset
+  relations plus per-trace incremental checking, single process.
+
+Results (wall-clock, candidate counts, speedups) are printed and written
+to ``BENCH_kernel.json`` at the repository root.  The suite asserts both
+configurations agree exactly and that the kernel wins by at least 3x on
+the RCU-implementation run.
+
+Run with::
+
+    pytest benchmarks/test_perf_kernel.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.herd import run_litmus, verdicts
+from repro.kernel import config as kconfig
+from repro.litmus import library
+from repro.lkmm import LinuxKernelModel
+from repro.rcu import verify_implementation
+
+from conftest import once, print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_kernel.json"
+
+#: Floor asserted on the RCU-implementation run (the issue's acceptance
+#: criterion); the observed speedup is typically far higher.
+MIN_RCU_SPEEDUP = 3.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _reference():
+    return kconfig.use_backend(kconfig.FROZENSET), kconfig.use_incremental(
+        False
+    )
+
+
+def _run_litmus_workload(name):
+    model = LinuxKernelModel()
+    program = library.get(name)
+
+    def run():
+        return run_litmus(model, program, require_sc_per_location=True)
+
+    fast, fast_time = _timed(run)
+    backend_ctx, incremental_ctx = _reference()
+    with backend_ctx, incremental_ctx:
+        reference, reference_time = _timed(run)
+
+    assert fast.verdict == reference.verdict
+    assert fast.candidates == reference.candidates
+    assert fast.states == reference.states
+    return {
+        "test": name,
+        "workload": "litmus",
+        "verdict": fast.verdict,
+        "candidates_kernel": fast.candidates,
+        "candidates_reference": reference.candidates,
+        "seconds_kernel": round(fast_time, 4),
+        "seconds_reference": round(reference_time, 4),
+        "speedup": round(reference_time / max(fast_time, 1e-9), 2),
+    }
+
+
+def _run_rcu_workload():
+    def run():
+        return verify_implementation(library.get("RCU-MP"), loop_bound=1)
+
+    fast, fast_time = _timed(run)
+    backend_ctx, incremental_ctx = _reference()
+    with backend_ctx, incremental_ctx:
+        reference, reference_time = _timed(run)
+
+    assert fast.holds and reference.holds
+    assert fast.impl_outcomes == reference.impl_outcomes
+    assert fast.spec_outcomes == reference.spec_outcomes
+    return {
+        "test": "RCU-MP implementation (Section 6, loop bound 1)",
+        "workload": "rcu-implementation",
+        "verdict": "holds",
+        "candidates_kernel": fast.impl_allowed,
+        "candidates_reference": reference.impl_allowed,
+        "seconds_kernel": round(fast_time, 4),
+        "seconds_reference": round(reference_time, 4),
+        "speedup": round(reference_time / max(fast_time, 1e-9), 2),
+    }
+
+
+def _run_library_sweep():
+    """Verdicts over the whole library: kernel vs reference vs jobs=2."""
+    programs = library.all_tests()
+    models = [LinuxKernelModel()]
+
+    def run():
+        return verdicts(models, programs, require_sc_per_location=True)
+
+    fast, fast_time = _timed(run)
+    parallel, _ = _timed(
+        lambda: verdicts(
+            models, programs, jobs=2, require_sc_per_location=True
+        )
+    )
+    backend_ctx, incremental_ctx = _reference()
+    with backend_ctx, incremental_ctx:
+        reference, reference_time = _timed(run)
+
+    assert fast == reference
+    assert fast == parallel
+    return {
+        "test": f"library sweep ({len(programs)} tests, LKMM)",
+        "workload": "library-verdicts",
+        "verdict": "identical across backends and jobs=2",
+        "candidates_kernel": len(programs),
+        "candidates_reference": len(programs),
+        "seconds_kernel": round(fast_time, 4),
+        "seconds_reference": round(reference_time, 4),
+        "speedup": round(reference_time / max(fast_time, 1e-9), 2),
+    }
+
+
+def test_kernel_speedup(benchmark):
+    def experiment():
+        return [
+            _run_litmus_workload("MP+wmb+rmb"),
+            _run_litmus_workload("WRC+wmb+acq"),
+            _run_library_sweep(),
+            _run_rcu_workload(),
+        ]
+
+    rows = once(benchmark, experiment)
+
+    RESULT_FILE.write_text(json.dumps(rows, indent=2) + "\n")
+    print_table(
+        "Execution kernel vs reference backend",
+        ["test", "candidates", "reference (s)", "kernel (s)", "speedup"],
+        [
+            [
+                row["test"],
+                row["candidates_kernel"],
+                row["seconds_reference"],
+                row["seconds_kernel"],
+                f"{row['speedup']}x",
+            ]
+            for row in rows
+        ],
+    )
+    print(f"wrote {RESULT_FILE}")
+
+    rcu = rows[-1]
+    assert rcu["workload"] == "rcu-implementation"
+    assert rcu["speedup"] >= MIN_RCU_SPEEDUP, (
+        f"kernel speedup {rcu['speedup']}x below the {MIN_RCU_SPEEDUP}x "
+        "acceptance floor"
+    )

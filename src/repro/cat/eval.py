@@ -23,8 +23,9 @@ The builtin environment exposes:
 
 from __future__ import annotations
 
+import itertools
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union as TUnion
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union as TUnion
 
 from repro.cat import ast as C
 from repro.cat.parser import CatParseError, parse_cat
@@ -103,30 +104,109 @@ TAG_SETS: Dict[str, str] = {
 
 
 def builtin_environment(execution: CandidateExecution) -> Dict[str, Value]:
-    """The initial cat environment for one execution."""
-    env: Dict[str, Value] = {
-        "po": execution.po,
-        "rf": execution.rf,
-        "co": execution.co,
-        "addr": execution.addr,
-        "data": execution.data,
-        "ctrl": execution.ctrl,
-        "rmw": execution.rmw,
-        "loc": execution.loc,
-        "int": execution.int_,
-        "ext": execution.ext,
-        "id": execution.identity,
-        "_": execution.all_events,
-        "R": execution.reads,
-        "W": execution.writes,
-        "F": execution.fences,
-        "M": execution.accesses,
-        "IW": execution.initial_writes,
-        "crit": crit_relation(execution),
-    }
-    for name, tag in TAG_SETS.items():
-        env[name] = execution.tagged(tag)
+    """The initial cat environment for one execution.
+
+    Everything except ``rf`` and ``co`` is trace-invariant, so the bulk of
+    the environment is built once per trace combination (shared on the
+    execution's skeleton) and only the witness relations are added per
+    candidate.
+    """
+
+    def invariant() -> Dict[str, Value]:
+        env: Dict[str, Value] = {
+            "po": execution.po,
+            "addr": execution.addr,
+            "data": execution.data,
+            "ctrl": execution.ctrl,
+            "rmw": execution.rmw,
+            "loc": execution.loc,
+            "int": execution.int_,
+            "ext": execution.ext,
+            "id": execution.identity,
+            "_": execution.all_events,
+            "R": execution.reads,
+            "W": execution.writes,
+            "F": execution.fences,
+            "M": execution.accesses,
+            "IW": execution.initial_writes,
+            "crit": crit_relation(execution),
+        }
+        for name, tag in TAG_SETS.items():
+            env[name] = execution.tagged(tag)
+        return env
+
+    env = dict(execution.shared_memo("cat:base_env", invariant))
+    env["rf"] = execution.rf
+    env["co"] = execution.co
     return env
+
+
+#: Builtin identifiers whose value varies with the execution witness; the
+#: seed of the varying-name analysis below.
+_VARYING_BUILTINS = frozenset({"rf", "co"})
+#: Builtin functions (not environment entries; never varying by themselves).
+_BUILTIN_FUNCS = frozenset({"domain", "range", "fencerel"})
+
+
+def _free_identifiers(expr: C.CatExpr, out: Set[str]) -> None:
+    """Collect the identifiers (and applied function names) of ``expr``."""
+    if isinstance(expr, C.Id):
+        out.add(expr.name)
+        return
+    if isinstance(expr, C.App):
+        out.add(expr.func)
+        for arg in expr.args:
+            _free_identifiers(arg, out)
+        return
+    for attr in ("lhs", "rhs", "operand"):
+        child = getattr(expr, attr, None)
+        if child is not None:
+            _free_identifiers(child, out)
+
+
+def _analyse_invariance(statements: Sequence) -> List:
+    """Per-statement rf/co-(in)dependence, in evaluation order.
+
+    Walks the flattened statement list tracking the set of *varying*
+    names — those whose value (transitively) depends on ``rf`` or ``co``.
+    Returns, aligned with ``statements``: for a ``Let``, a list of
+    per-binding booleans (True = trace-invariant, safe to memoise on the
+    skeleton); for a ``Check``, one boolean for its expression.  The
+    analysis is order-sensitive, so shadowing is handled conservatively:
+    once a name goes varying it stays varying.
+    """
+    varying: Set[str] = set(_VARYING_BUILTINS)
+    result: List = []
+    for statement in statements:
+        if isinstance(statement, C.Let):
+            if statement.recursive:
+                group = {b.name for b in statement.bindings}
+                free: Set[str] = set()
+                for binding in statement.bindings:
+                    _free_identifiers(binding.expr, free)
+                is_varying = bool((free - group - _BUILTIN_FUNCS) & varying)
+                if is_varying:
+                    varying.update(group)
+                result.append([not is_varying] * len(statement.bindings))
+            else:
+                flags = []
+                for binding in statement.bindings:
+                    free = set()
+                    _free_identifiers(binding.expr, free)
+                    free -= set(binding.params)
+                    free -= _BUILTIN_FUNCS
+                    is_varying = bool(free & varying)
+                    if is_varying:
+                        varying.add(binding.name)
+                    flags.append(not is_varying)
+                result.append(flags)
+        elif isinstance(statement, C.Check):
+            free = set()
+            _free_identifiers(statement.expr, free)
+            result.append(not ((free - _BUILTIN_FUNCS) & varying))
+        else:
+            result.append(None)
+    return result
 
 
 class _Evaluator:
@@ -230,12 +310,26 @@ class _Evaluator:
         raise CatError(f"unknown function {expr.func!r}")
 
 
+#: Process-unique tokens for memo keys (id() is unsafe: recyclable).
+_MODEL_TOKENS = itertools.count()
+
+
 class CatModel(Model):
-    """A consistency model defined by a cat file."""
+    """A consistency model defined by a cat file.
+
+    On first use the statement list is flattened (includes expanded) and
+    analysed for rf/co-dependence; ``let`` bindings and checks whose value
+    cannot depend on the execution witness are then evaluated once per
+    trace combination (memoised on the execution's shared skeleton) rather
+    than once per candidate.
+    """
 
     def __init__(self, cat_file: C.CatFile, name: Optional[str] = None):
         self.cat_file = cat_file
         self.name = name or cat_file.name
+        self._token = next(_MODEL_TOKENS)
+        self._flat: Optional[List] = None
+        self._invariance: Optional[List] = None
 
     @classmethod
     def from_source(cls, source: str, name: Optional[str] = None) -> "CatModel":
@@ -247,50 +341,94 @@ class CatModel(Model):
         cat_file = parse_cat(path.read_text(), default_name=path.stem)
         return cls(cat_file, name=name)
 
+    def _flattened(self) -> List:
+        if self._flat is None:
+            out: List = []
+
+            def walk(cat_file: C.CatFile) -> None:
+                for statement in cat_file.statements:
+                    if isinstance(statement, C.Include):
+                        walk(_load_cat_file(statement.path))
+                    elif isinstance(statement, (C.Let, C.Check)):
+                        out.append(statement)
+                    else:  # pragma: no cover - parser produces only the above
+                        raise CatError(f"unknown statement {statement!r}")
+
+            walk(self.cat_file)
+            self._flat = out
+            self._invariance = _analyse_invariance(out)
+        return self._flat
+
     def check(self, execution: CandidateExecution) -> ModelResult:
         evaluator = _Evaluator(execution)
         env = builtin_environment(execution)
         violations: List[AxiomViolation] = []
         flags: List[AxiomViolation] = []
-        self._run(self.cat_file, evaluator, env, violations, flags)
+        statements = self._flattened()
+        invariance = self._invariance
+        for index, statement in enumerate(statements):
+            if isinstance(statement, C.Let):
+                self._bind(
+                    statement, evaluator, env, execution, invariance[index], index
+                )
+            else:
+                if invariance[index]:
+                    violation = execution.shared_memo(
+                        ("cat", self._token, index),
+                        lambda s=statement, i=index: self._check(
+                            s, evaluator, env, i
+                        ),
+                    )
+                else:
+                    violation = self._check(statement, evaluator, env, index)
+                if violation is not None:
+                    (flags if statement.flag else violations).append(violation)
         result = ModelResult(allowed=not violations, violations=violations)
         result.flags = flags  # informational, does not affect the verdict
         return result
 
-    def _run(
+    def _bind(
         self,
-        cat_file: C.CatFile,
+        let: C.Let,
         evaluator: _Evaluator,
         env: Dict[str, Value],
-        violations: List[AxiomViolation],
-        flags: List[AxiomViolation],
-    ) -> None:
-        for index, statement in enumerate(cat_file.statements):
-            if isinstance(statement, C.Include):
-                included = _load_cat_file(statement.path)
-                self._run(included, evaluator, env, violations, flags)
-            elif isinstance(statement, C.Let):
-                self._bind(statement, evaluator, env)
-            elif isinstance(statement, C.Check):
-                violation = self._check(statement, evaluator, env, index)
-                if violation is not None:
-                    (flags if statement.flag else violations).append(violation)
-            else:  # pragma: no cover - parser produces only the above
-                raise CatError(f"unknown statement {statement!r}")
-
-    def _bind(
-        self, let: C.Let, evaluator: _Evaluator, env: Dict[str, Value]
+        execution: CandidateExecution,
+        invariant_flags: List[bool],
+        stmt_index: int,
     ) -> None:
         if not let.recursive:
-            for binding in let.bindings:
+            for b_index, binding in enumerate(let.bindings):
                 if binding.params:
+                    # Function bindings are cheap to create; their bodies
+                    # are (re-)evaluated per call site anyway.
                     env[binding.name] = CatFunction(
                         binding.name, binding.params, binding.expr, env.copy()
+                    )
+                elif invariant_flags[b_index]:
+                    # The expression cannot reach rf/co, and every name it
+                    # reads resolves to skeleton-shared values — so the
+                    # result is identical across all sibling candidates.
+                    env[binding.name] = execution.shared_memo(
+                        ("cat", self._token, stmt_index, b_index),
+                        lambda b=binding: evaluator.eval(b.expr, env),
                     )
                 else:
                     env[binding.name] = evaluator.eval(binding.expr, env)
             return
-        # let rec: simultaneous least fixpoint from empty relations.
+        if invariant_flags and invariant_flags[0]:
+            values = execution.shared_memo(
+                ("cat", self._token, stmt_index),
+                lambda: self._eval_rec(let, evaluator, env),
+            )
+        else:
+            values = self._eval_rec(let, evaluator, env)
+        env.update(values)
+
+    def _eval_rec(
+        self, let: C.Let, evaluator: _Evaluator, env: Dict[str, Value]
+    ) -> Dict[str, Value]:
+        """``let rec``: simultaneous least fixpoint from empty relations."""
+        env = dict(env)
         for binding in let.bindings:
             if binding.params:
                 raise CatError("recursive cat functions are not supported")
@@ -301,13 +439,13 @@ class CatModel(Model):
                 new = evaluator._as_relation(
                     evaluator.eval(binding.expr, env), f"let rec {binding.name}"
                 )
-                if new.pairs != evaluator._as_relation(
+                if new != evaluator._as_relation(
                     env[binding.name], binding.name
-                ).pairs:
+                ):
                     env[binding.name] = new
                     changed = True
             if not changed:
-                return
+                return {b.name: env[b.name] for b in let.bindings}
 
     def _check(
         self,
@@ -352,17 +490,38 @@ class CatModel(Model):
         return AxiomViolation(name, check.kind, witness)
 
 
+#: Parse caches: the shipped .cat files never change within a process, and
+#: repro-lint / the equivalence suites load the same models for every test.
+_CAT_FILE_CACHE: Dict[str, C.CatFile] = {}
+_MODEL_CACHE: Dict[str, CatModel] = {}
+
+
 def _load_cat_file(name: str) -> C.CatFile:
-    path = MODELS_DIR / name
-    if not path.exists():
-        raise CatError(f"included cat file {name!r} not found in {MODELS_DIR}")
-    return parse_cat(path.read_text(), default_name=path.stem)
+    cached = _CAT_FILE_CACHE.get(name)
+    if cached is None:
+        path = MODELS_DIR / name
+        if not path.exists():
+            raise CatError(
+                f"included cat file {name!r} not found in {MODELS_DIR}"
+            )
+        cached = parse_cat(path.read_text(), default_name=path.stem)
+        _CAT_FILE_CACHE[name] = cached
+    return cached
 
 
 def load_model(name: str) -> CatModel:
-    """Load a shipped model by name (e.g. ``lkmm``, ``c11``, ``tso``)."""
-    path = MODELS_DIR / f"{name}.cat"
-    if not path.exists():
-        available = sorted(p.stem for p in MODELS_DIR.glob("*.cat"))
-        raise CatError(f"unknown model {name!r}; available: {available}")
-    return CatModel.from_path(path)
+    """Load a shipped model by name (e.g. ``lkmm``, ``c11``, ``tso``).
+
+    Models are parsed once per process and the instance is shared:
+    :class:`CatModel` is immutable after its lazy statement flattening, so
+    callers may freely reuse it across runs and threads of enumeration.
+    """
+    cached = _MODEL_CACHE.get(name)
+    if cached is None:
+        path = MODELS_DIR / f"{name}.cat"
+        if not path.exists():
+            available = sorted(p.stem for p in MODELS_DIR.glob("*.cat"))
+            raise CatError(f"unknown model {name!r}; available: {available}")
+        cached = CatModel.from_path(path)
+        _MODEL_CACHE[name] = cached
+    return cached

@@ -169,8 +169,11 @@ class Event:
 
     # Events are identified by eid within an execution; hashing on eid keeps
     # relation operations cheap and lets `with_value` copies stay distinct.
+    # Returning the eid directly (not hash(self.eid)) matters: relation
+    # construction hashes events millions of times per litmus run, and eids
+    # are small non-negative ints whose hash is themselves.
     def __hash__(self) -> int:  # pragma: no cover - trivial
-        return hash(self.eid)
+        return self.eid
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Event):

@@ -6,16 +6,41 @@ and the base relations ``po``, ``addr``, ``data``, ``ctrl``, ``rmw``
 Derived relations that "often appear in cat models" — ``fr``, ``com``,
 ``po-loc``, ``rfi``/``rfe``, ``coi``/``coe``, ``fri``/``fre`` — are provided
 as cached properties, mirroring the definitions given in the paper.
+
+Only ``rf`` and ``co`` (and their derivatives) vary between the candidates
+of one trace combination; everything else — the events, the base
+relations, ``loc``/``int``/``ext``/``id``, ``po-loc``, the tag sets — is
+*trace-invariant*.  The enumerator attaches one
+:class:`repro.kernel.skeleton.TraceSkeleton` to all candidates of a
+combination, and the invariant cached properties are memoised there: the
+first candidate computes each value, the rest reuse it.  Model layers can
+join in via :meth:`shared_memo`.
 """
 
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.events import Event, FENCE, READ, WRITE
+from repro.kernel.skeleton import TraceSkeleton
 from repro.litmus.outcomes import FinalState
 from repro.relations import EventSet, Relation
+
+#: Core constructor attributes (everything else in ``__dict__`` is a cache).
+_CORE_ATTRS = (
+    "events",
+    "universe",
+    "po",
+    "addr",
+    "data",
+    "ctrl",
+    "rmw",
+    "rf",
+    "co",
+    "final_regs",
+    "name",
+)
 
 
 class CandidateExecution:
@@ -33,6 +58,7 @@ class CandidateExecution:
         co: Relation,
         final_regs: Optional[Dict[Tuple[int, str], object]] = None,
         name: str = "",
+        shared: Optional[TraceSkeleton] = None,
     ):
         self.events: FrozenSet[Event] = frozenset(events)
         self.universe = self.events
@@ -45,6 +71,28 @@ class CandidateExecution:
         self.co = co
         self.final_regs = dict(final_regs or {})
         self.name = name
+        self._shared = shared
+
+    def shared_memo(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Memoise a trace-invariant value on the shared skeleton.
+
+        When no skeleton is attached (incremental checking disabled, or a
+        hand-built execution), this simply calls ``compute``.  Callers must
+        only use it for values fully determined by the events and the base
+        relations — never anything derived from ``rf`` or ``co``.
+        """
+        if self._shared is None:
+            return compute()
+        return self._shared.memo(key, compute)
+
+    def __getstate__(self):
+        # Drop the shared skeleton (it aggregates caches across sibling
+        # candidates) and every memoised property; both are recomputable.
+        return {k: self.__dict__[k] for k in _CORE_ATTRS}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._shared = None
 
     # -- event sets -----------------------------------------------------
 
@@ -54,84 +102,117 @@ class CandidateExecution:
     @cached_property
     def all_events(self) -> EventSet:
         """The cat ``_`` set."""
-        return self.event_set(self.events)
+        return self.shared_memo(
+            "all_events", lambda: self.event_set(self.events)
+        )
 
     @cached_property
     def reads(self) -> EventSet:
         """The cat ``R`` set."""
-        return self.event_set(e for e in self.events if e.kind == READ)
+        return self.shared_memo(
+            "reads",
+            lambda: self.event_set(e for e in self.events if e.kind == READ),
+        )
 
     @cached_property
     def writes(self) -> EventSet:
         """The cat ``W`` set."""
-        return self.event_set(e for e in self.events if e.kind == WRITE)
+        return self.shared_memo(
+            "writes",
+            lambda: self.event_set(e for e in self.events if e.kind == WRITE),
+        )
 
     @cached_property
     def fences(self) -> EventSet:
         """The cat ``F`` set."""
-        return self.event_set(e for e in self.events if e.kind == FENCE)
+        return self.shared_memo(
+            "fences",
+            lambda: self.event_set(e for e in self.events if e.kind == FENCE),
+        )
 
     @cached_property
     def accesses(self) -> EventSet:
         """The cat ``M`` set (memory accesses)."""
-        return self.reads | self.writes
+        return self.shared_memo("accesses", lambda: self.reads | self.writes)
 
     @cached_property
     def initial_writes(self) -> EventSet:
         """The cat ``IW`` set."""
-        return self.event_set(e for e in self.events if e.is_init)
+        return self.shared_memo(
+            "initial_writes",
+            lambda: self.event_set(e for e in self.events if e.is_init),
+        )
 
     def tagged(self, tag: str) -> EventSet:
         """Events carrying ``tag`` (e.g. ``acquire``, ``mb``, ``rcu-lock``)."""
-        return self.event_set(e for e in self.events if e.has_tag(tag))
+        return self.shared_memo(
+            ("tagged", tag),
+            lambda: self.event_set(
+                e for e in self.events if e.has_tag(tag)
+            ),
+        )
 
     # -- base relations given by construction ------------------------------
 
     @cached_property
     def identity(self) -> Relation:
         """The cat ``id`` relation."""
-        return Relation(((e, e) for e in self.events), self.universe)
+        return self.shared_memo(
+            "identity",
+            lambda: Relation(((e, e) for e in self.events), self.universe),
+        )
 
     @cached_property
     def loc(self) -> Relation:
         """Pairs of accesses to the same shared location."""
-        by_loc: Dict[str, List[Event]] = {}
-        for event in self.events:
-            if event.loc is not None:
-                by_loc.setdefault(event.loc, []).append(event)
-        pairs = [
-            (a, b)
-            for events in by_loc.values()
-            for a in events
-            for b in events
-        ]
-        return Relation(pairs, self.universe)
+
+        def compute() -> Relation:
+            by_loc: Dict[str, List[Event]] = {}
+            for event in self.events:
+                if event.loc is not None:
+                    by_loc.setdefault(event.loc, []).append(event)
+            pairs = [
+                (a, b)
+                for events in by_loc.values()
+                for a in events
+                for b in events
+            ]
+            return Relation(pairs, self.universe)
+
+        return self.shared_memo("loc", compute)
 
     @cached_property
     def int_(self) -> Relation:
         """Pairs of events on the same thread (cat ``int``)."""
-        by_tid: Dict[int, List[Event]] = {}
-        for event in self.events:
-            by_tid.setdefault(event.tid, []).append(event)
-        pairs = [
-            (a, b)
-            for events in by_tid.values()
-            for a in events
-            for b in events
-        ]
-        return Relation(pairs, self.universe)
+
+        def compute() -> Relation:
+            by_tid: Dict[int, List[Event]] = {}
+            for event in self.events:
+                by_tid.setdefault(event.tid, []).append(event)
+            pairs = [
+                (a, b)
+                for events in by_tid.values()
+                for a in events
+                for b in events
+            ]
+            return Relation(pairs, self.universe)
+
+        return self.shared_memo("int", compute)
 
     @cached_property
     def ext(self) -> Relation:
         """Pairs of events on different threads (cat ``ext``)."""
-        return Relation(
-            (
-                (a, b)
-                for a in self.events
-                for b in self.events
-                if a.tid != b.tid
+        return self.shared_memo(
+            "ext",
+            lambda: Relation(
+                (
+                    (a, b)
+                    for a in self.events
+                    for b in self.events
+                    if a.tid != b.tid
+                ),
+                self.universe,
             ),
-            self.universe,
         )
 
     # -- derived relations (Section 2) -------------------------------------
@@ -149,7 +230,7 @@ class CandidateExecution:
     @cached_property
     def po_loc(self) -> Relation:
         """``po & loc``."""
-        return self.po & self.loc
+        return self.shared_memo("po_loc", lambda: self.po & self.loc)
 
     @cached_property
     def rfi(self) -> Relation:
@@ -178,7 +259,7 @@ class CandidateExecution:
     @cached_property
     def dep(self) -> Relation:
         """``addr | data`` (the paper's ``dep``)."""
-        return self.addr | self.data
+        return self.shared_memo("dep", lambda: self.addr | self.data)
 
     # -- final state -----------------------------------------------------
 
@@ -187,12 +268,12 @@ class CandidateExecution:
         """The observable end state: final registers and, per location, the
         co-maximal write's value."""
         memory: Dict[str, object] = {}
-        co_pairs = self.co.pairs
+        co = self.co
         for event in self.events:
             if event.kind != WRITE:
                 continue
             is_last = not any(
-                (event, other) in co_pairs
+                (event, other) in co
                 for other in self.events
                 if other.kind == WRITE and other.loc == event.loc and other != event
             )

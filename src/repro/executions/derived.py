@@ -16,7 +16,15 @@ from repro.relations import Relation
 
 
 def crit_relation(execution: CandidateExecution) -> Relation:
-    """Outermost lock -> matching unlock pairs (the paper's ``crit``)."""
+    """Outermost lock -> matching unlock pairs (the paper's ``crit``).
+
+    Memoised on the execution's trace skeleton: ``crit`` only depends on
+    events and program order, never on rf/co.
+    """
+    return execution.shared_memo("crit", lambda: _compute_crit(execution))
+
+
+def _compute_crit(execution: CandidateExecution) -> Relation:
     pairs: List[Tuple[Event, Event]] = []
     by_tid: Dict[int, List[Event]] = {}
     for event in execution.events:

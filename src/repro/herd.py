@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.executions.candidate import CandidateExecution
-from repro.executions.enumerate import candidate_executions
+from repro.executions.enumerate import candidate_executions_sharded
 from repro.litmus.ast import Program
 from repro.litmus.outcomes import Exists, Forall, FinalState, NotExists
 from repro.model import Model
@@ -75,55 +75,110 @@ class RunResult:
         )
 
 
+def run_litmus_many(
+    models: List[Model],
+    program: Program,
+    require_sc_per_location: bool = False,
+    keep_states: bool = True,
+    shard: int = 0,
+    shard_count: int = 1,
+) -> Dict[str, RunResult]:
+    """Run several models over one program with a *single* enumeration.
+
+    Candidate enumeration dominates the cost of a run, and candidates are
+    model-independent — so judging N models costs one enumeration plus N
+    model checks per candidate, not N enumerations.  ``shard``/
+    ``shard_count`` restrict the scan to every ``shard_count``-th trace
+    combination (the unit :mod:`repro.kernel.parallel` distributes).
+    """
+    condition = program.condition
+    results: List[RunResult] = [
+        RunResult(
+            program=program,
+            model_name=model.name,
+            candidates=0,
+            allowed=0,
+            witnesses=0,
+        )
+        for model in models
+    ]
+    for execution in candidate_executions_sharded(
+        program,
+        shard,
+        shard_count,
+        require_sc_per_location=require_sc_per_location,
+    ):
+        matches = (
+            condition is None or condition.evaluate(execution.final_state)
+        )
+        for model, result in zip(models, results):
+            result.candidates += 1
+            if not model.allows(execution):
+                if matches and result.forbidden_witness is None:
+                    result.forbidden_witness = execution
+                continue
+            result.allowed += 1
+            if keep_states:
+                result.states.add(execution.final_state)
+            if matches:
+                result.witnesses += 1
+                if result.witness_execution is None:
+                    result.witness_execution = execution
+    return {result.model_name: result for result in results}
+
+
 def run_litmus(
     model: Model,
     program: Program,
     require_sc_per_location: bool = False,
     keep_states: bool = True,
+    jobs: int = 1,
 ) -> RunResult:
     """Run ``program`` against ``model`` and summarise the results.
 
     ``require_sc_per_location`` may be set for models known to include the
     Scpv axiom (all models in this package do) to speed up enumeration of
-    large tests.
+    large tests.  ``jobs > 1`` shards the trace combinations over that
+    many worker processes (:mod:`repro.kernel.parallel`); the verdict,
+    counts and state set are identical to a sequential run.
     """
-    condition = program.condition
-    result = RunResult(
-        program=program,
-        model_name=model.name,
-        candidates=0,
-        allowed=0,
-        witnesses=0,
-    )
-    for execution in candidate_executions(
-        program, require_sc_per_location=require_sc_per_location
-    ):
-        result.candidates += 1
-        matches = (
-            condition is None or condition.evaluate(execution.final_state)
+    if jobs > 1:
+        from repro.kernel.parallel import run_litmus_parallel
+
+        return run_litmus_parallel(
+            model,
+            program,
+            jobs=jobs,
+            require_sc_per_location=require_sc_per_location,
+            keep_states=keep_states,
         )
-        if not model.allows(execution):
-            if matches and result.forbidden_witness is None:
-                result.forbidden_witness = execution
-            continue
-        result.allowed += 1
-        if keep_states:
-            result.states.add(execution.final_state)
-        if matches:
-            result.witnesses += 1
-            if result.witness_execution is None:
-                result.witness_execution = execution
-    return result
+    return run_litmus_many(
+        [model],
+        program,
+        require_sc_per_location=require_sc_per_location,
+        keep_states=keep_states,
+    )[model.name]
 
 
 def verdicts(
-    models: List[Model], programs: List[Program], **kwargs
+    models: List[Model],
+    programs: List[Program],
+    jobs: int = 1,
+    **kwargs,
 ) -> Dict[str, Dict[str, str]]:
-    """Verdict table: ``{test name: {model name: Allow/Forbid}}``."""
+    """Verdict table: ``{test name: {model name: Allow/Forbid}}``.
+
+    Each program is enumerated once, for all models together.  ``jobs > 1``
+    distributes whole programs over that many worker processes.
+    """
+    if jobs > 1 and len(programs) > 1:
+        from repro.kernel.parallel import verdicts_parallel
+
+        return verdicts_parallel(models, programs, jobs, **kwargs)
     table: Dict[str, Dict[str, str]] = {}
     for program in programs:
-        row: Dict[str, str] = {}
-        for model in models:
-            row[model.name] = run_litmus(model, program, **kwargs).verdict
-        table[program.name] = row
+        results = run_litmus_many(models, program, **kwargs)
+        table[program.name] = {
+            model.name: results[model.name].verdict for model in models
+        }
     return table

@@ -1,0 +1,45 @@
+"""repro.kernel — the fast execution kernel.
+
+A performance layer under the public ``Relation``/``EventSet``/
+``run_litmus`` APIs, with no behavioural change:
+
+* :mod:`repro.kernel.bitrel` — integer-indexed relations: events mapped to
+  dense indices once per universe, relations held as adjacency bitset
+  rows, operators as word-parallel integer arithmetic;
+* :mod:`repro.kernel.skeleton` — per-trace incremental checking: the
+  trace-invariant structure of candidate executions, computed once per
+  trace combination and shared across all rf×co candidates;
+* :mod:`repro.kernel.parallel` — a ``multiprocessing`` driver sharding
+  trace combinations (and whole programs) over a worker pool, surfaced as
+  ``--jobs N`` on the CLIs and ``jobs=N`` on the ``run_litmus``/
+  ``verdicts`` APIs;
+* :mod:`repro.kernel.config` — backend selection
+  (``REPRO_RELATION_BACKEND=bitset|frozenset``, default ``bitset``) and
+  the incremental-checking switch (``REPRO_INCREMENTAL=1|0``).
+
+The original frozenset implementation is retained as the reference
+backend; ``tests/test_kernel_equiv.py`` asserts observational equivalence
+between every backend/driver combination.
+"""
+
+from repro.kernel.config import (
+    BITSET,
+    FROZENSET,
+    backend,
+    incremental_enabled,
+    set_backend,
+    set_incremental,
+    use_backend,
+    use_incremental,
+)
+
+__all__ = [
+    "BITSET",
+    "FROZENSET",
+    "backend",
+    "incremental_enabled",
+    "set_backend",
+    "set_incremental",
+    "use_backend",
+    "use_incremental",
+]

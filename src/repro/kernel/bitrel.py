@@ -1,0 +1,329 @@
+"""Integer-indexed relation representation: adjacency bitset rows.
+
+The frozenset-of-pairs representation of :class:`repro.relations.Relation`
+is convenient but slow: every operator re-hashes event pairs, and closures
+build large intermediate sets.  This module maps the events of one
+execution to dense indices ``0..n-1`` once (:class:`EventIndex`) and
+represents a relation as ``n`` Python integers, row ``i`` holding a
+bitmask of the successors of event ``i``.  All cat operators then become
+word-parallel bit operations:
+
+* union / intersection / difference / complement — one ``|``/``&``/``&~``
+  per row;
+* sequence (``;``) — row ``i`` of ``r1 ; r2`` is the OR of the ``r2`` rows
+  of ``r1``'s successors;
+* transitive closure — bitset Floyd–Warshall (``n**2`` word operations);
+* acyclicity — a DFS over bitmask rows, with cycle extraction for the
+  model's violation witnesses.
+
+Everything here is deterministic: events are indexed in ``eid`` order, so
+two indices built independently for equal universes are interchangeable,
+and DFS visits successors lowest-index first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.events import Event
+
+Pair = Tuple[Event, Event]
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _popcount(mask: int) -> int:
+    # int.bit_count() requires Python 3.10; stay 3.9-compatible.
+    return bin(mask).count("1")
+
+
+class EventIndex:
+    """A dense ``event -> 0..n-1`` mapping for one universe.
+
+    Events are ordered by ``eid`` so the mapping is canonical: any two
+    indices over equal universes assign the same position to each event.
+    """
+
+    __slots__ = ("universe", "events", "pos", "n", "full_row")
+
+    def __init__(self, universe: Iterable[Event]):
+        self.events: List[Event] = sorted(universe, key=lambda e: e.eid)
+        self.universe = frozenset(self.events)
+        self.pos: Dict[Event, int] = {e: i for i, e in enumerate(self.events)}
+        self.n = len(self.events)
+        self.full_row = (1 << self.n) - 1
+
+    def mask_of(self, events: Iterable[Event]) -> int:
+        """Bitmask of the given events.  Raises ``KeyError`` on strangers."""
+        mask = 0
+        pos = self.pos
+        for event in events:
+            mask |= 1 << pos[event]
+        return mask
+
+
+#: Bounded index cache, keyed by universe *identity*.  Universes repeat
+#: heavily within one litmus run (every rf×co candidate of a trace
+#: combination shares one frozenset object), so interning avoids
+#: rebuilding the mapping.  Identity, not equality: events compare by
+#: ``eid`` only, so equal-looking universes from different trace
+#: combinations carry different payloads (values, kinds) and must not
+#: share canonical events.  Each entry keeps a strong reference to its
+#: universe so the id cannot be recycled while cached.
+_INDEX_CACHE: Dict[int, Tuple[frozenset, EventIndex]] = {}
+_INDEX_CACHE_LIMIT = 128
+
+
+def index_for(universe: frozenset) -> EventIndex:
+    key = id(universe)
+    entry = _INDEX_CACHE.get(key)
+    if entry is not None and entry[0] is universe:
+        return entry[1]
+    index = EventIndex(universe)
+    if len(_INDEX_CACHE) >= _INDEX_CACHE_LIMIT:
+        _INDEX_CACHE.clear()
+    _INDEX_CACHE[key] = (universe, index)
+    return index
+
+
+class DenseRelation:
+    """A binary relation as adjacency bitset rows over an :class:`EventIndex`.
+
+    Instances are immutable by convention: operators return new instances
+    and never mutate ``rows`` after construction.
+    """
+
+    __slots__ = ("index", "rows")
+
+    def __init__(self, index: EventIndex, rows: List[int]):
+        self.index = index
+        self.rows = rows
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def empty(cls, index: EventIndex) -> "DenseRelation":
+        return cls(index, [0] * index.n)
+
+    @classmethod
+    def from_pairs(cls, index: EventIndex, pairs: Iterable[Pair]) -> "DenseRelation":
+        """Build from event pairs.  Raises ``KeyError`` if a pair mentions
+        an event outside the index's universe."""
+        rows = [0] * index.n
+        pos = index.pos
+        for a, b in pairs:
+            rows[pos[a]] |= 1 << pos[b]
+        return cls(index, rows)
+
+    # -- conversion ------------------------------------------------------
+
+    def pairs(self) -> Iterator[Pair]:
+        events = self.index.events
+        for i, row in enumerate(self.rows):
+            source = events[i]
+            for j in _bits(row):
+                yield (source, events[j])
+
+    def successor_positions(self, i: int) -> Iterator[int]:
+        return _bits(self.rows[i])
+
+    # -- set algebra -----------------------------------------------------
+
+    def union(self, other: "DenseRelation") -> "DenseRelation":
+        return DenseRelation(
+            self.index, [a | b for a, b in zip(self.rows, other.rows)]
+        )
+
+    def intersection(self, other: "DenseRelation") -> "DenseRelation":
+        return DenseRelation(
+            self.index, [a & b for a, b in zip(self.rows, other.rows)]
+        )
+
+    def difference(self, other: "DenseRelation") -> "DenseRelation":
+        return DenseRelation(
+            self.index, [a & ~b for a, b in zip(self.rows, other.rows)]
+        )
+
+    def complement(self) -> "DenseRelation":
+        full = self.index.full_row
+        return DenseRelation(self.index, [full & ~row for row in self.rows])
+
+    # -- relational operators --------------------------------------------
+
+    def inverse(self) -> "DenseRelation":
+        out = [0] * self.index.n
+        for i, row in enumerate(self.rows):
+            bit = 1 << i
+            for j in _bits(row):
+                out[j] |= bit
+        return DenseRelation(self.index, out)
+
+    def sequence(self, other: "DenseRelation") -> "DenseRelation":
+        other_rows = other.rows
+        out = []
+        for row in self.rows:
+            acc = 0
+            for j in _bits(row):
+                acc |= other_rows[j]
+            out.append(acc)
+        return DenseRelation(self.index, out)
+
+    def optional(self) -> "DenseRelation":
+        return DenseRelation(
+            self.index, [row | (1 << i) for i, row in enumerate(self.rows)]
+        )
+
+    def transitive_closure(self) -> "DenseRelation":
+        # Bitset Floyd–Warshall: after processing k, row i holds every node
+        # reachable from i via intermediates <= k.
+        rows = list(self.rows)
+        for k, row_k in enumerate(rows):
+            if not row_k:
+                continue
+            bit = 1 << k
+            for i in range(len(rows)):
+                if rows[i] & bit:
+                    rows[i] |= rows[k]
+        return DenseRelation(self.index, rows)
+
+    def reflexive_transitive_closure(self) -> "DenseRelation":
+        return self.transitive_closure().optional()
+
+    def restrict(self, domain_mask: Optional[int], range_mask: Optional[int]) -> "DenseRelation":
+        rows = self.rows
+        if range_mask is not None:
+            rows = [row & range_mask for row in rows]
+        if domain_mask is not None:
+            rows = [
+                row if domain_mask & (1 << i) else 0
+                for i, row in enumerate(rows)
+            ]
+        return DenseRelation(self.index, rows if rows is not self.rows else list(rows))
+
+    def domain_mask(self) -> int:
+        mask = 0
+        for i, row in enumerate(self.rows):
+            if row:
+                mask |= 1 << i
+        return mask
+
+    def range_mask(self) -> int:
+        mask = 0
+        for row in self.rows:
+            mask |= row
+        return mask
+
+    # -- checks ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(_popcount(row) for row in self.rows)
+
+    def is_empty(self) -> bool:
+        return not any(self.rows)
+
+    def contains(self, a: Event, b: Event) -> bool:
+        pos = self.index.pos
+        try:
+            return bool(self.rows[pos[a]] & (1 << pos[b]))
+        except KeyError:
+            return False
+
+    def reflexive_mask(self) -> int:
+        """Bitmask of events related to themselves."""
+        mask = 0
+        for i, row in enumerate(self.rows):
+            bit = 1 << i
+            if row & bit:
+                mask |= bit
+        return mask
+
+    def is_irreflexive(self) -> bool:
+        return not self.reflexive_mask()
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle_positions() is None
+
+    def find_cycle_positions(self) -> Optional[List[int]]:
+        """One cycle as positions ``[i0, ..., i0]``, or ``None``.
+
+        Mirrors the reference DFS (three-colour, iterative) so cycle
+        witnesses have the same shape under both backends.
+        """
+        rows = self.rows
+        n = self.index.n
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = [WHITE] * n
+        parent = [0] * n
+
+        for root in range(n):
+            if colour[root] != WHITE or not rows[root]:
+                continue
+            colour[root] = GREY
+            stack: List[Tuple[int, Iterator[int]]] = [(root, _bits(rows[root]))]
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    state = colour[nxt]
+                    if state == GREY:
+                        cycle = [nxt, node]
+                        cursor = node
+                        while cursor != nxt:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        if cycle[0] != cycle[-1]:
+                            cycle.append(cycle[0])
+                        return cycle
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, _bits(rows[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def find_cycle(self) -> Optional[List[Event]]:
+        positions = self.find_cycle_positions()
+        if positions is None:
+            return None
+        events = self.index.events
+        return [events[i] for i in positions]
+
+    # -- equality --------------------------------------------------------
+
+    def equals(self, other: "DenseRelation") -> bool:
+        return self.rows == other.rows
+
+
+def reaches(rows: List[int], start: int, targets: int) -> bool:
+    """True iff some node in ``targets`` (a bitmask) is reachable from
+    ``start`` in the graph given by ``rows``.
+
+    Used by the incremental coherence-order pruner: after adding edges
+    that all point *into* a new node ``w``, a new cycle exists iff ``w``
+    reaches one of the edges' sources.
+    """
+    seen = 1 << start
+    frontier = rows[start]
+    while frontier:
+        if frontier & targets:
+            return True
+        fresh = frontier & ~seen
+        if not fresh:
+            return False
+        seen |= fresh
+        acc = 0
+        for j in _bits(fresh):
+            acc |= rows[j]
+        frontier = acc & ~seen
+    return False

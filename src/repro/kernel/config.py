@@ -1,0 +1,92 @@
+"""Runtime configuration of the execution kernel.
+
+Two independent switches, each settable via environment variable (read at
+import time) or programmatically (context managers, used by the
+equivalence tests and the benchmark harness):
+
+* ``REPRO_RELATION_BACKEND`` — ``bitset`` (default) selects the
+  integer-indexed adjacency-bitset representation of
+  :class:`repro.relations.Relation`; ``frozenset`` selects the original
+  pure-Python frozenset-of-pairs reference implementation.
+* ``REPRO_INCREMENTAL`` — ``1`` (default) enables per-trace incremental
+  checking: the trace-invariant structure of a candidate execution is
+  computed once per trace combination and shared across all rf×co
+  candidates, and coherence-order permutations are pruned incrementally
+  against ``acyclic(po-loc | com)`` while they are extended.  ``0``
+  restores the original behaviour (everything recomputed per candidate,
+  complete candidates filtered after construction).
+
+Both switches are observational no-ops: verdicts, witness counts and
+final-state sets are identical under every combination (see
+``tests/test_kernel_equiv.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+BITSET = "bitset"
+FROZENSET = "frozenset"
+
+_BACKENDS = (BITSET, FROZENSET)
+
+_backend = os.environ.get("REPRO_RELATION_BACKEND", BITSET).strip().lower()
+if _backend not in _BACKENDS:
+    raise ValueError(
+        f"REPRO_RELATION_BACKEND={_backend!r}: expected one of {_BACKENDS}"
+    )
+
+_incremental = os.environ.get("REPRO_INCREMENTAL", "1").strip() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def backend() -> str:
+    """The active relation backend name (``bitset`` or ``frozenset``)."""
+    return _backend
+
+
+def use_bitset() -> bool:
+    return _backend == BITSET
+
+
+def set_backend(name: str) -> None:
+    global _backend
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}: expected one of {_BACKENDS}")
+    _backend = name
+
+
+def incremental_enabled() -> bool:
+    return _incremental
+
+
+def set_incremental(enabled: bool) -> None:
+    global _incremental
+    _incremental = bool(enabled)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily select a relation backend (for tests and benchmarks)."""
+    previous = _backend
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+@contextmanager
+def use_incremental(enabled: bool):
+    """Temporarily enable/disable incremental checking."""
+    previous = _incremental
+    set_incremental(enabled)
+    try:
+        yield
+    finally:
+        set_incremental(previous)

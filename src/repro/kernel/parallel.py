@@ -1,0 +1,137 @@
+"""Parallel litmus driving over multiprocessing worker pools.
+
+Trace enumeration is deterministic (:func:`repro.executions.enumerate.
+candidate_executions_sharded`), so parallelism needs no communication:
+
+* one *program* is split by handing shard ``s`` of ``N`` to worker ``s``,
+  each worker enumerating every ``N``-th trace combination and scanning
+  its candidates; the partial :class:`~repro.herd.RunResult` counters are
+  summed afterwards (:func:`run_litmus_parallel`);
+* a *batch* of programs (``repro-herd``/``repro-lint`` on a directory,
+  :func:`repro.herd.verdicts`) is distributed program-per-task
+  (:func:`verdicts_parallel`), which scales better than sharding when
+  there are many more tests than cores.
+
+Workers re-enumerate their shard from the pickled
+:class:`~repro.litmus.ast.Program` — events are never pickled between
+processes.  The parent's backend configuration is replicated into each
+worker explicitly (an initializer, not environment inheritance), so
+``use_backend``/``use_incremental`` contexts apply to parallel runs too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernel import config as _config
+
+
+def _init_worker(backend: str, incremental: bool) -> None:
+    _config.set_backend(backend)
+    _config.set_incremental(incremental)
+
+
+def worker_pool(jobs: int):
+    """A pool whose workers replicate this process's backend config."""
+    return multiprocessing.get_context().Pool(
+        processes=jobs,
+        initializer=_init_worker,
+        initargs=(_config.backend(), _config.incremental_enabled()),
+    )
+
+
+# -- one program, sharded trace combinations ----------------------------
+
+
+def _run_shard(task):
+    model, program, shard, shard_count, require_sc, keep_states = task
+    from repro.herd import run_litmus_many
+
+    results = run_litmus_many(
+        [model],
+        program,
+        require_sc_per_location=require_sc,
+        keep_states=keep_states,
+        shard=shard,
+        shard_count=shard_count,
+    )
+    return results[model.name]
+
+
+def merge_results(partials: Sequence) -> "RunResult":
+    """Sum shard-local :class:`~repro.herd.RunResult` counters.
+
+    Witness executions are taken from the lowest shard that found one, so
+    the merged result is deterministic for a fixed shard count.
+    """
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.candidates += partial.candidates
+        merged.allowed += partial.allowed
+        merged.witnesses += partial.witnesses
+        merged.states |= partial.states
+        if merged.witness_execution is None:
+            merged.witness_execution = partial.witness_execution
+        if merged.forbidden_witness is None:
+            merged.forbidden_witness = partial.forbidden_witness
+    return merged
+
+
+def run_litmus_parallel(
+    model,
+    program,
+    jobs: int,
+    require_sc_per_location: bool = False,
+    keep_states: bool = True,
+):
+    """Run one litmus test with its trace combinations sharded over ``jobs``
+    worker processes.  Verdict, counts and state set are identical to the
+    sequential :func:`repro.herd.run_litmus`."""
+    from repro.herd import run_litmus_many
+
+    jobs = max(1, int(jobs))
+    if jobs == 1:
+        return run_litmus_many(
+            [model],
+            program,
+            require_sc_per_location=require_sc_per_location,
+            keep_states=keep_states,
+        )[model.name]
+    tasks = [
+        (model, program, shard, jobs, require_sc_per_location, keep_states)
+        for shard in range(jobs)
+    ]
+    with worker_pool(jobs) as pool:
+        partials = pool.map(_run_shard, tasks)
+    return merge_results(partials)
+
+
+# -- many programs, distributed whole ------------------------------------
+
+
+def _run_program(task):
+    models, program, kwargs = task
+    from repro.herd import run_litmus_many
+
+    results = run_litmus_many(models, program, **kwargs)
+    return program.name, {
+        model.name: results[model.name].verdict for model in models
+    }
+
+
+def verdicts_parallel(
+    models: List,
+    programs: List,
+    jobs: int,
+    **kwargs,
+) -> Dict[str, Dict[str, str]]:
+    """The :func:`repro.herd.verdicts` table, one program per pool task."""
+    jobs = max(1, int(jobs))
+    tasks = [(models, program, kwargs) for program in programs]
+    if jobs == 1 or len(tasks) <= 1:
+        pairs = [_run_program(task) for task in tasks]
+    else:
+        with worker_pool(min(jobs, len(tasks))) as pool:
+            pairs = pool.map(_run_program, tasks)
+    return dict(pairs)

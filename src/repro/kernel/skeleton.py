@@ -1,0 +1,42 @@
+"""Per-trace shared state: the trace-invariant half of candidate executions.
+
+Enumeration (herd's structure) fixes the events and the base relations
+``po``/``addr``/``data``/``ctrl``/``rmw`` once per *trace combination* and
+then sweeps the rf×co witness space.  Everything derivable from those
+alone — ``loc``, ``int``, ``ext``, ``id``, ``po-loc``, the tag sets,
+``crit``, the fence relations of the LK model, and the rf/co-independent
+prefix of a cat model — is therefore identical across all candidates of
+one combination.
+
+A :class:`TraceSkeleton` is a small memo table attached to every candidate
+of one combination: the first candidate computes each invariant value, the
+rest reuse it.  Model layers opt in through
+:meth:`repro.executions.candidate.CandidateExecution.shared_memo`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+
+class TraceSkeleton:
+    """Memo table shared by all rf×co candidates of one trace combination."""
+
+    __slots__ = ("universe", "_memo")
+
+    def __init__(self, universe: frozenset):
+        self.universe = universe
+        self._memo: Dict[Any, Any] = {}
+
+    def memo(self, key: Any, compute: Callable[[], Any]) -> Any:
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = compute()
+            self._memo[key] = value
+            return value
+
+    def seed(self, key: Any, value: Any) -> None:
+        """Pre-populate a memo entry (used by the enumerator, which has
+        already built some invariant relations)."""
+        self._memo.setdefault(key, value)

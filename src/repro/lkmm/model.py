@@ -79,21 +79,34 @@ class LkmmRelations:
     Exposed as cached properties so explanation tooling
     (:mod:`repro.lkmm.explain`) can inspect exactly the relations the model
     used.
+
+    The rf/co-independent relations (fence relations, ``gp``, ``crit``,
+    ``rscs``, dependency relations) are additionally memoised on the
+    execution's shared trace skeleton, so they are computed once per trace
+    combination rather than once per rf×co candidate.
     """
 
     def __init__(self, execution: CandidateExecution, with_rcu: bool = True):
         self.x = execution
         self.with_rcu = with_rcu
 
+    def _shared(self, name: str, compute) -> Relation:
+        """Memoise an rf/co-independent relation on the trace skeleton."""
+        return self.x.shared_memo(("lkmm", name), compute)
+
     # -- auxiliary fence relations (Section 3) ---------------------------
 
     def fencerel(self, tag: str) -> Relation:
         """Pairs of events separated in po by a fence tagged ``tag``."""
-        x = self.x
-        fences = x.tagged(tag) & x.fences
-        before = x.po.restrict(range_=fences)
-        after = x.po.restrict(domain=fences)
-        return before.sequence(after)
+
+        def compute() -> Relation:
+            x = self.x
+            fences = x.tagged(tag) & x.fences
+            before = x.po.restrict(range_=fences)
+            after = x.po.restrict(domain=fences)
+            return before.sequence(after)
+
+        return self._shared(("fencerel", tag), compute)
 
     @cached_property
     def mb(self) -> Relation:
@@ -102,27 +115,37 @@ class LkmmRelations:
     @cached_property
     def rmb(self) -> Relation:
         x = self.x
-        return self.fencerel(RMB) & (x.reads * x.reads)
+        return self._shared(
+            "rmb", lambda: self.fencerel(RMB) & (x.reads * x.reads)
+        )
 
     @cached_property
     def wmb(self) -> Relation:
         x = self.x
-        return self.fencerel(WMB) & (x.writes * x.writes)
+        return self._shared(
+            "wmb", lambda: self.fencerel(WMB) & (x.writes * x.writes)
+        )
 
     @cached_property
     def rb_dep(self) -> Relation:
         x = self.x
-        return self.fencerel(RB_DEP) & (x.reads * x.reads)
+        return self._shared(
+            "rb_dep", lambda: self.fencerel(RB_DEP) & (x.reads * x.reads)
+        )
 
     @cached_property
     def acq_po(self) -> Relation:
         x = self.x
-        return x.tagged(ACQUIRE).identity().sequence(x.po)
+        return self._shared(
+            "acq_po", lambda: x.tagged(ACQUIRE).identity().sequence(x.po)
+        )
 
     @cached_property
     def po_rel(self) -> Relation:
         x = self.x
-        return x.po.sequence(x.tagged(RELEASE).identity())
+        return self._shared(
+            "po_rel", lambda: x.po.sequence(x.tagged(RELEASE).identity())
+        )
 
     @cached_property
     def rfi_rel_acq(self) -> Relation:
@@ -138,12 +161,14 @@ class LkmmRelations:
 
     @cached_property
     def dep(self) -> Relation:
-        return self.x.addr | self.x.data
+        return self._shared("dep", lambda: self.x.addr | self.x.data)
 
     @cached_property
     def rwdep(self) -> Relation:
         x = self.x
-        return (self.dep | x.ctrl) & (x.reads * x.writes)
+        return self._shared(
+            "rwdep", lambda: (self.dep | x.ctrl) & (x.reads * x.writes)
+        )
 
     @cached_property
     def overwrite(self) -> Relation:
@@ -168,21 +193,30 @@ class LkmmRelations:
     @cached_property
     def gp(self) -> Relation:
         """``(po & (_ x Sync)) ; po?`` — Figure 12."""
-        x = self.x
-        sync = x.tagged(SYNC_RCU)
-        to_sync = x.po & (x.all_events * sync)
-        return to_sync.sequence(x.po.optional())
+
+        def compute() -> Relation:
+            x = self.x
+            sync = x.tagged(SYNC_RCU)
+            to_sync = x.po & (x.all_events * sync)
+            return to_sync.sequence(x.po.optional())
+
+        return self._shared("gp", compute)
 
     @cached_property
     def strong_fence(self) -> Relation:
         if self.with_rcu:
-            return self.mb | self.gp
+            return self._shared("strong_fence+rcu", lambda: self.mb | self.gp)
         return self.mb
 
     @cached_property
     def fence(self) -> Relation:
-        return (
-            self.strong_fence | self.po_rel | self.wmb | self.rmb | self.acq_po
+        return self._shared(
+            ("fence", self.with_rcu),
+            lambda: self.strong_fence
+            | self.po_rel
+            | self.wmb
+            | self.rmb
+            | self.acq_po,
         )
 
     @cached_property
@@ -226,36 +260,21 @@ class LkmmRelations:
     def crit(self) -> Relation:
         """Outermost ``rcu_read_lock`` to its matching ``rcu_read_unlock``.
 
-        Nesting is tracked per thread; only depth-1 lock/unlock pairs are
-        related, as the paper specifies ("crit connects each outermost
-        rcu_read_lock() to its matching rcu_read_unlock()").
+        Computed by :func:`repro.executions.derived.crit_relation` (shared
+        with the cat layer and memoised per trace combination).
         """
-        x = self.x
-        pairs: List[Tuple[Event, Event]] = []
-        by_tid: Dict[int, List[Event]] = {}
-        for event in x.events:
-            by_tid.setdefault(event.tid, []).append(event)
-        for events in by_tid.values():
-            events.sort(key=lambda e: e.po_index)
-            depth = 0
-            outermost: Optional[Event] = None
-            for event in events:
-                if event.has_tag(RCU_LOCK):
-                    if depth == 0:
-                        outermost = event
-                    depth += 1
-                elif event.has_tag(RCU_UNLOCK):
-                    depth -= 1
-                    if depth == 0 and outermost is not None:
-                        pairs.append((outermost, event))
-                        outermost = None
-        return Relation(pairs, x.universe)
+        from repro.executions.derived import crit_relation
+
+        return crit_relation(self.x)
 
     @cached_property
     def rscs(self) -> Relation:
         """``po ; crit^-1 ; po?``."""
-        return self.x.po.sequence(self.crit.inverse()).sequence(
-            self.x.po.optional()
+        return self._shared(
+            "rscs",
+            lambda: self.x.po.sequence(self.crit.inverse()).sequence(
+                self.x.po.optional()
+            ),
         )
 
     @cached_property
@@ -337,9 +356,7 @@ class LinuxKernelModel(Model):
             violations.append(AxiomViolation("Pb", "acyclic", tuple(cycle)))
 
         if self.with_rcu:
-            reflexive = [
-                (a, b) for a, b in rel.rcu_path.pairs if a == b
-            ]
+            reflexive = rel.rcu_path.reflexive_pairs()
             if reflexive:
                 witness = tuple(
                     event for pair in reflexive[:1] for event in pair

@@ -74,12 +74,20 @@ def herd_main(argv: List[str] | None = None) -> int:
         help="also classify each test as Racy / Race-free (LKMM-derived "
         "data-race detector over plain accesses)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each test's trace combinations over N worker processes",
+    )
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
 
     model = _resolve_model(args.model)
     for program in _resolve_tests(args.tests):
-        result = run_litmus(model, program)
+        result = run_litmus(model, program, jobs=args.jobs)
         print(result.describe())
         if args.check_races:
             from repro.analysis.races import check_races
@@ -173,6 +181,22 @@ def diy_main(argv: List[str] | None = None) -> int:
     return 0
 
 
+def _check_races_task(program: Program):
+    from repro.analysis.races import check_races
+
+    return check_races(program)
+
+
+def _race_reports(race_targets: List[Program], jobs: int):
+    """Race reports for each target, in input order, on ``jobs`` workers."""
+    if jobs > 1 and len(race_targets) > 1:
+        from repro.kernel.parallel import worker_pool
+
+        with worker_pool(min(jobs, len(race_targets))) as pool:
+            return pool.map(_check_races_task, race_targets)
+    return [_check_races_task(program) for program in race_targets]
+
+
 def lint_main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
@@ -196,6 +220,14 @@ def lint_main(argv: List[str] | None = None) -> int:
         "linted litmus test (slower: enumerates candidate executions)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="race-classify litmus tests on N worker processes",
+    )
+    parser.add_argument(
         "targets",
         nargs="*",
         help="explicit .cat / .litmus files, or library test names",
@@ -204,7 +236,6 @@ def lint_main(argv: List[str] | None = None) -> int:
 
     from repro.analysis.catlint import lint_all_models, lint_cat_path
     from repro.analysis.litmuslint import lint_library, lint_program
-    from repro.analysis.races import check_races
 
     if not args.all_models and not args.library and not args.targets:
         args.all_models = True
@@ -249,8 +280,7 @@ def lint_main(argv: List[str] | None = None) -> int:
         print(finding.describe())
 
     racy = 0
-    for program in race_targets:
-        report = check_races(program)
+    for report in _race_reports(race_targets, args.jobs):
         print(report.describe())
         if report.racy:
             racy += 1
