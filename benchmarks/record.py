@@ -1,0 +1,147 @@
+"""Record instrumented benchmark runs into ``BENCH_obs.json``.
+
+ROADMAP's north star ("as fast as the hardware allows") is re-anchored by
+``BENCH_*.json`` trajectories; this harness makes the observability layer
+feed one.  It runs the standard suites — the two Table-5 litmus workloads
+and the library-wide verdict sweep of ``benchmarks/test_perf_kernel.py``,
+plus the Section 6 RCU-implementation verification — each under
+:func:`repro.obs.collect`, and **appends** a structured entry per
+invocation, so successive runs across PRs accumulate a perf trajectory::
+
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_obs.json]
+
+Entry schema (one JSON object per invocation, newest last)::
+
+    {
+      "schema": 1,
+      "backend": "bitset", "incremental": true,
+      "python": "3.11.7",
+      "suites": [
+        {"suite": "litmus:MP+wmb+rmb", "seconds": 0.01,
+         "counters": {...}, "spans": {...}},   # RunReport fields
+        ...
+      ]
+    }
+
+Timestamps are deliberately omitted from the appended entries' identity:
+entries are ordered by position, so the file stays reproducible and
+diff-friendly; a wall-clock stamp is still recorded for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.herd import run_litmus, verdicts  # noqa: E402
+from repro.kernel import config as kconfig  # noqa: E402
+from repro.litmus import library  # noqa: E402
+from repro.lkmm import LinuxKernelModel  # noqa: E402
+from repro.rcu import verify_implementation  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_obs.json"
+
+
+def _observed(suite: str, fn) -> Dict[str, Any]:
+    """Run one suite under a fresh collector; return its structured entry."""
+    with obs.collect() as collector:
+        start = time.perf_counter()
+        fn()
+        seconds = time.perf_counter() - start
+    report = collector.report()
+    return {
+        "suite": suite,
+        "seconds": round(seconds, 4),
+        "counters": report.counters,
+        "spans": {
+            name: {key: round(value, 6) for key, value in stat.items()}
+            for name, stat in report.spans.items()
+        },
+    }
+
+
+def standard_suites() -> List[Dict[str, Any]]:
+    model = LinuxKernelModel()
+    entries = [
+        _observed(
+            "litmus:MP+wmb+rmb",
+            lambda: run_litmus(
+                model, library.get("MP+wmb+rmb"), require_sc_per_location=True
+            ),
+        ),
+        _observed(
+            "litmus:WRC+wmb+acq",
+            lambda: run_litmus(
+                model, library.get("WRC+wmb+acq"), require_sc_per_location=True
+            ),
+        ),
+        _observed(
+            "library-verdicts:LKMM",
+            lambda: verdicts(
+                [model], library.all_tests(), require_sc_per_location=True
+            ),
+        ),
+        _observed(
+            "rcu-implementation:loop-bound-1",
+            lambda: verify_implementation(library.get("RCU-MP"), loop_bound=1),
+        ),
+    ]
+    return entries
+
+
+def record(output: Path) -> Dict[str, Any]:
+    entry = {
+        "schema": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "backend": kconfig.backend(),
+        "incremental": kconfig.incremental_enabled(),
+        "python": platform.python_version(),
+        "suites": standard_suites(),
+    }
+    history: List[Dict[str, Any]] = []
+    if output.exists():
+        history = json.loads(output.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(
+                f"{output} exists but is not a JSON list; refusing to append"
+            )
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the standard suites instrumented and append the "
+        "observations to the BENCH_obs.json trajectory."
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        metavar="FILE",
+        help=f"trajectory file to append to (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    entry = record(args.output)
+    for suite in entry["suites"]:
+        print(f"{suite['suite']}: {suite['seconds']}s")
+    print(f"appended entry #{_entry_count(args.output)} to {args.output}")
+    return 0
+
+
+def _entry_count(output: Path) -> int:
+    return len(json.loads(output.read_text()))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,8 @@ See ``examples/quickstart.py`` for a tour.
 
 from repro import analysis
 from repro import litmus
+from repro import obs
+from repro.obs import RunReport
 from repro.events import Event, ONCE, PLAIN
 from repro.litmus import library as litmus_library
 from repro.litmus.parser import parse_litmus
@@ -44,6 +46,8 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "litmus",
+    "obs",
+    "RunReport",
     "litmus_library",
     "Event",
     "ONCE",

@@ -33,6 +33,7 @@ from repro.events import FENCE
 from repro.executions.candidate import CandidateExecution
 from repro.executions.derived import crit_relation
 from repro.model import AxiomViolation, Model, ModelResult
+from repro.obs import core as _obs
 from repro.relations import EventSet, Relation
 
 #: Directory holding the shipped .cat model files.
@@ -383,6 +384,10 @@ class CatModel(Model):
                     violation = self._check(statement, evaluator, env, index)
                 if violation is not None:
                     (flags if statement.flag else violations).append(violation)
+        if _obs.ENABLED:
+            _obs.count(f"cat.{self.name}.checks")
+            for violation in violations:
+                _obs.count(f"cat.{self.name}.violation.{violation.axiom}")
         result = ModelResult(allowed=not violations, violations=violations)
         result.flags = flags  # informational, does not affect the verdict
         return result
@@ -410,19 +415,37 @@ class CatModel(Model):
                     # result is identical across all sibling candidates.
                     env[binding.name] = execution.shared_memo(
                         ("cat", self._token, stmt_index, b_index),
-                        lambda b=binding: evaluator.eval(b.expr, env),
+                        lambda b=binding: self._timed_eval(
+                            b, evaluator, env
+                        ),
                     )
                 else:
-                    env[binding.name] = evaluator.eval(binding.expr, env)
+                    env[binding.name] = self._timed_eval(
+                        binding, evaluator, env
+                    )
             return
+        group = "+".join(b.name for b in let.bindings)
         if invariant_flags and invariant_flags[0]:
             values = execution.shared_memo(
                 ("cat", self._token, stmt_index),
-                lambda: self._eval_rec(let, evaluator, env),
+                lambda: self._timed_eval_rec(let, evaluator, env, group),
             )
         else:
-            values = self._eval_rec(let, evaluator, env)
+            values = self._timed_eval_rec(let, evaluator, env, group)
         env.update(values)
+
+    def _timed_eval_rec(
+        self, let: C.Let, evaluator: _Evaluator, env: Dict[str, Value], group: str
+    ) -> Dict[str, Value]:
+        with _obs.span(f"cat.let.{self.name}.rec.{group}"):
+            return self._eval_rec(let, evaluator, env)
+
+    def _timed_eval(
+        self, binding, evaluator: _Evaluator, env: Dict[str, Value]
+    ) -> Value:
+        """Evaluate one non-function ``let`` binding under a span."""
+        with _obs.span(f"cat.let.{self.name}.{binding.name}"):
+            return evaluator.eval(binding.expr, env)
 
     def _eval_rec(
         self, let: C.Let, evaluator: _Evaluator, env: Dict[str, Value]
@@ -455,6 +478,16 @@ class CatModel(Model):
         index: int,
     ) -> Optional[AxiomViolation]:
         name = check.name or f"{check.kind}-{index}"
+        with _obs.span(f"cat.check.{self.name}.{name}"):
+            return self._check_inner(check, evaluator, env, name)
+
+    def _check_inner(
+        self,
+        check: C.Check,
+        evaluator: _Evaluator,
+        env: Dict[str, Value],
+        name: str,
+    ) -> Optional[AxiomViolation]:
         value = evaluator.eval(check.expr, env)
         if check.kind == "empty":
             if isinstance(value, EventSet):
@@ -498,6 +531,10 @@ _MODEL_CACHE: Dict[str, CatModel] = {}
 
 def _load_cat_file(name: str) -> C.CatFile:
     cached = _CAT_FILE_CACHE.get(name)
+    if _obs.ENABLED:
+        _obs.count(
+            "cat.file_cache_hit" if cached is not None else "cat.file_cache_miss"
+        )
     if cached is None:
         path = MODELS_DIR / name
         if not path.exists():
@@ -517,6 +554,10 @@ def load_model(name: str) -> CatModel:
     callers may freely reuse it across runs and threads of enumeration.
     """
     cached = _MODEL_CACHE.get(name)
+    if _obs.ENABLED:
+        _obs.count(
+            "cat.model_cache_hit" if cached is not None else "cat.model_cache_miss"
+        )
     if cached is None:
         path = MODELS_DIR / f"{name}.cat"
         if not path.exists():

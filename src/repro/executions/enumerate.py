@@ -40,6 +40,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.events import Event, FENCE, INIT_TID, ONCE, READ, WRITE, _index_to_label
 from repro.kernel import config as _config
+from repro.obs import core as _obs
 from repro.kernel.bitrel import _bits, index_for, reaches
 from repro.kernel.skeleton import TraceSkeleton
 from repro.litmus.ast import Program
@@ -82,15 +83,19 @@ def candidate_executions_sharded(
     running shard ``0..shard_count-1`` partition the full candidate stream
     without communicating (:mod:`repro.kernel.parallel`).
     """
-    value_sets = possible_value_sets(program)
-    per_thread: List[List[ThreadTrace]] = [
-        enumerate_thread_traces(thread, value_sets) for thread in program.threads
-    ]
-    locations = program.locations()
+    with _obs.span("enumerate.thread_traces"):
+        value_sets = possible_value_sets(program)
+        per_thread: List[List[ThreadTrace]] = [
+            enumerate_thread_traces(thread, value_sets)
+            for thread in program.threads
+        ]
+        locations = program.locations()
 
     for combo_index, traces in enumerate(itertools.product(*per_thread)):
         if combo_index % shard_count != shard:
             continue
+        if _obs.ENABLED:
+            _obs.count("enumerate.trace_combos")
         yield from _executions_of_traces(
             program, locations, traces, require_sc_per_location
         )
@@ -201,7 +206,10 @@ def _executions_of_traces(
             if w.value == read.value and w is not read
         ]
         if not sources:
-            return  # this trace combination chose an unwritable value
+            # This trace combination chose an unwritable value.
+            if _obs.ENABLED:
+                _obs.count("enumerate.pruned.unwritable_trace")
+            return
         rf_candidates.append(sources)
 
     # Coherence candidates: per location, init write first, then any
@@ -269,7 +277,11 @@ def _executions_of_traces(
             if require_sc_per_location and not (
                 execution.po_loc | execution.com
             ).is_acyclic():
+                if _obs.ENABLED:
+                    _obs.count("enumerate.pruned.sc_filtered")
                 continue
+            if _obs.ENABLED:
+                _obs.count("enumerate.candidates")
             yield execution
 
 
@@ -326,6 +338,8 @@ def _pruned_candidates(
         # A cycle in po-loc | rf survives in every completion: skip the
         # whole co sweep for this rf assignment.
         if _has_cycle(rows, n):
+            if _obs.ENABLED:
+                _obs.count("enumerate.pruned.rf_cycle")
             continue
 
         rf = Relation(zip(rf_choice, reads), universe)
@@ -336,6 +350,8 @@ def _pruned_candidates(
                 co_pairs: List[Tuple[Event, Event]] = []
                 for order in chosen_orders:
                     co_pairs.extend(_order_pairs(order))
+                if _obs.ENABLED:
+                    _obs.count("enumerate.candidates")
                 yield build(rf, co_pairs)
                 return
             init = init_writes[locations[loc_index]]
@@ -367,7 +383,10 @@ def _pruned_candidates(
                     for r_pos in _bits(readers):
                         new_rows[r_pos] |= w_bit  # fr: reader -> write
                 if reaches(new_rows, w_pos, sources):
-                    continue  # cyclic prefix: prune every completion
+                    # Cyclic prefix: prune every completion.
+                    if _obs.ENABLED:
+                        _obs.count("enumerate.pruned.co_prefix")
+                    continue
                 yield from extend_order(
                     loc_index,
                     prefix + [write],

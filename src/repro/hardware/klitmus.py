@@ -14,6 +14,7 @@ that check is the soundness experiment (``benchmarks/test_soundness.py``).
 
 from __future__ import annotations
 
+import random
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -74,17 +75,27 @@ def run_klitmus(
     arch: ArchSpec | str,
     runs: int = 5000,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> KlitmusResult:
-    """Compile ``program`` for ``arch`` and sample ``runs`` executions."""
+    """Compile ``program`` for ``arch`` and sample ``runs`` executions.
+
+    Deterministic for a fixed ``seed``: all scheduling randomness flows
+    through one explicit rng.  Pass ``rng`` to inject a schedule stream
+    directly (it then takes precedence over ``seed``).
+    """
     if isinstance(arch, str):
         arch = get_arch(arch)
     compiled = compile_program(program, arch, rcu="keep")
     simulator = OperationalSimulator(compiled, arch)
-    # Derive a distinct stream per (test, machine) so different columns of
-    # the results table don't replay the same schedule sequence.  crc32 is
-    # stable across processes (unlike hash(), which is salted).
-    derived_seed = zlib.crc32(f"{seed}:{arch.name}:{program.name}".encode())
-    histogram = simulator.sample(runs, seed=derived_seed)
+    if rng is None:
+        # Derive a distinct stream per (test, machine) so different columns
+        # of the results table don't replay the same schedule sequence.
+        # crc32 is stable across processes (unlike hash(), which is salted).
+        derived_seed = zlib.crc32(
+            f"{seed}:{arch.name}:{program.name}".encode()
+        )
+        rng = random.Random(derived_seed)
+    histogram = simulator.sample(runs, rng=rng)
 
     condition = program.condition
     observed = 0

@@ -229,9 +229,21 @@ class OperationalSimulator:
         }
         return FinalState(registers, memory.values), trace
 
-    def sample(self, runs: int, seed: int = 0) -> Dict[FinalState, int]:
-        """Run ``runs`` times; histogram of final states."""
-        rng = random.Random(seed)
+    def sample(
+        self,
+        runs: int,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> Dict[FinalState, int]:
+        """Run ``runs`` times; histogram of final states.
+
+        Scheduling randomness comes exclusively from ``rng`` when given,
+        else from a fresh ``random.Random(seed)`` — never from global
+        ``random`` state — so a fixed seed reproduces the exact histogram
+        across processes and simulator instances.
+        """
+        if rng is None:
+            rng = random.Random(seed)
         histogram: Dict[FinalState, int] = {}
         for _ in range(runs):
             state = self.run_once(rng)

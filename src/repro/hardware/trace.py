@@ -98,14 +98,19 @@ def sample_executions(
     runs: int,
     seed: int = 0,
     rcu: str = "keep",
+    rng: Optional[random.Random] = None,
 ) -> Iterator[CandidateExecution]:
     """Compile ``program`` for ``arch`` and yield the candidate execution
-    of each of ``runs`` randomised runs."""
+    of each of ``runs`` randomised runs.
+
+    Deterministic for a fixed ``seed``; pass ``rng`` to inject the
+    schedule stream directly instead."""
     if isinstance(arch, str):
         arch = get_arch(arch)
     compiled = compile_program(program, arch, rcu=rcu)
     simulator = OperationalSimulator(compiled, arch)
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     for _ in range(runs):
         _, trace = simulator.run_once_traced(rng)
         yield build_execution(trace, name=compiled.name)

@@ -23,6 +23,7 @@ from repro.executions.enumerate import candidate_executions_sharded
 from repro.litmus.ast import Program
 from repro.litmus.outcomes import Exists, Forall, FinalState, NotExists
 from repro.model import Model
+from repro.obs import core as _obs
 
 ALLOW = "Allow"
 FORBID = "Forbid"
@@ -102,28 +103,36 @@ def run_litmus_many(
         )
         for model in models
     ]
-    for execution in candidate_executions_sharded(
-        program,
-        shard,
-        shard_count,
-        require_sc_per_location=require_sc_per_location,
-    ):
-        matches = (
-            condition is None or condition.evaluate(execution.final_state)
-        )
-        for model, result in zip(models, results):
-            result.candidates += 1
-            if not model.allows(execution):
-                if matches and result.forbidden_witness is None:
-                    result.forbidden_witness = execution
-                continue
-            result.allowed += 1
-            if keep_states:
-                result.states.add(execution.final_state)
-            if matches:
-                result.witnesses += 1
-                if result.witness_execution is None:
-                    result.witness_execution = execution
+    with _obs.span("herd.run"):
+        for execution in candidate_executions_sharded(
+            program,
+            shard,
+            shard_count,
+            require_sc_per_location=require_sc_per_location,
+        ):
+            matches = (
+                condition is None or condition.evaluate(execution.final_state)
+            )
+            for model, result in zip(models, results):
+                result.candidates += 1
+                with _obs.span(f"model.{model.name}"):
+                    allowed = model.allows(execution)
+                if not allowed:
+                    if matches and result.forbidden_witness is None:
+                        result.forbidden_witness = execution
+                    continue
+                result.allowed += 1
+                if keep_states:
+                    result.states.add(execution.final_state)
+                if matches:
+                    result.witnesses += 1
+                    if result.witness_execution is None:
+                        result.witness_execution = execution
+    if _obs.ENABLED:
+        for result in results:
+            _obs.count(f"herd.{result.model_name}.candidates", result.candidates)
+            _obs.count(f"herd.{result.model_name}.allowed", result.allowed)
+            _obs.count(f"herd.{result.model_name}.witnesses", result.witnesses)
     return {result.model_name: result for result in results}
 
 

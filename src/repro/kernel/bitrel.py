@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.events import Event
+from repro.obs import core as _obs
 
 Pair = Tuple[Event, Event]
 
@@ -84,7 +85,11 @@ def index_for(universe: frozenset) -> EventIndex:
     key = id(universe)
     entry = _INDEX_CACHE.get(key)
     if entry is not None and entry[0] is universe:
+        if _obs.ENABLED:
+            _obs.count("bitrel.index_hit")
         return entry[1]
+    if _obs.ENABLED:
+        _obs.count("bitrel.index_miss")
     index = EventIndex(universe)
     if len(_INDEX_CACHE) >= _INDEX_CACHE_LIMIT:
         _INDEX_CACHE.clear()

@@ -1,8 +1,8 @@
 """Runtime configuration of the execution kernel.
 
-Two independent switches, each settable via environment variable (read at
-import time) or programmatically (context managers, used by the
-equivalence tests and the benchmark harness):
+Two independent switches, each settable via environment variable or
+programmatically (context managers, used by the equivalence tests and the
+benchmark harness):
 
 * ``REPRO_RELATION_BACKEND`` — ``bitset`` (default) selects the
   integer-indexed adjacency-bitset representation of
@@ -12,9 +12,16 @@ equivalence tests and the benchmark harness):
   checking: the trace-invariant structure of a candidate execution is
   computed once per trace combination and shared across all rf×co
   candidates, and coherence-order permutations are pruned incrementally
-  against ``acyclic(po-loc | com)`` while they are extended.  ``0``
-  restores the original behaviour (everything recomputed per candidate,
-  complete candidates filtered after construction).
+  against ``acyclic(po-loc | com)``.  ``0`` restores the original
+  behaviour (everything recomputed per candidate, complete candidates
+  filtered after construction).
+
+The environment is re-read on every query (with a last-value parse cache,
+so the hot :class:`~repro.relations.Relation` constructor pays one dict
+lookup and one comparison): tests can toggle backends per-case with
+``monkeypatch.setenv`` and no subprocess.  Programmatic settings
+(:func:`set_backend` / the context managers) are process-local *overrides*
+that take precedence over the environment until cleared.
 
 Both switches are observational no-ops: verdicts, witness counts and
 final-state sets are identical under every combination (see
@@ -25,55 +32,85 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Optional
 
 BITSET = "bitset"
 FROZENSET = "frozenset"
 
 _BACKENDS = (BITSET, FROZENSET)
 
-_backend = os.environ.get("REPRO_RELATION_BACKEND", BITSET).strip().lower()
-if _backend not in _BACKENDS:
-    raise ValueError(
-        f"REPRO_RELATION_BACKEND={_backend!r}: expected one of {_BACKENDS}"
-    )
+_FALSY = ("0", "false", "no", "off")
 
-_incremental = os.environ.get("REPRO_INCREMENTAL", "1").strip() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+#: Programmatic overrides; ``None`` means "defer to the environment".
+_backend_override: Optional[str] = None
+_incremental_override: Optional[bool] = None
+
+#: Last-raw-value parse caches: (raw env string or None, parsed value).
+_backend_env_cache = ("\0unset", BITSET)
+_incremental_env_cache = ("\0unset", True)
+
+
+def _env_backend() -> str:
+    global _backend_env_cache
+    raw = os.environ.get("REPRO_RELATION_BACKEND")
+    cached_raw, cached_value = _backend_env_cache
+    if raw == cached_raw:
+        return cached_value
+    value = BITSET if raw is None else raw.strip().lower()
+    if value not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_RELATION_BACKEND={value!r}: expected one of {_BACKENDS}"
+        )
+    _backend_env_cache = (raw, value)
+    return value
+
+
+def _env_incremental() -> bool:
+    global _incremental_env_cache
+    raw = os.environ.get("REPRO_INCREMENTAL")
+    cached_raw, cached_value = _incremental_env_cache
+    if raw == cached_raw:
+        return cached_value
+    value = True if raw is None else raw.strip() not in _FALSY
+    _incremental_env_cache = (raw, value)
+    return value
 
 
 def backend() -> str:
     """The active relation backend name (``bitset`` or ``frozenset``)."""
-    return _backend
+    if _backend_override is not None:
+        return _backend_override
+    return _env_backend()
 
 
 def use_bitset() -> bool:
-    return _backend == BITSET
+    return backend() == BITSET
 
 
-def set_backend(name: str) -> None:
-    global _backend
-    if name not in _BACKENDS:
+def set_backend(name: Optional[str]) -> None:
+    """Set a process-local backend override; ``None`` defers to the env."""
+    global _backend_override
+    if name is not None and name not in _BACKENDS:
         raise ValueError(f"unknown backend {name!r}: expected one of {_BACKENDS}")
-    _backend = name
+    _backend_override = name
 
 
 def incremental_enabled() -> bool:
-    return _incremental
+    if _incremental_override is not None:
+        return _incremental_override
+    return _env_incremental()
 
 
-def set_incremental(enabled: bool) -> None:
-    global _incremental
-    _incremental = bool(enabled)
+def set_incremental(enabled: Optional[bool]) -> None:
+    """Set a process-local override; ``None`` defers to the environment."""
+    global _incremental_override
+    _incremental_override = None if enabled is None else bool(enabled)
 
 
 @contextmanager
 def use_backend(name: str):
     """Temporarily select a relation backend (for tests and benchmarks)."""
-    previous = _backend
+    previous = _backend_override
     set_backend(name)
     try:
         yield
@@ -84,7 +121,7 @@ def use_backend(name: str):
 @contextmanager
 def use_incremental(enabled: bool):
     """Temporarily enable/disable incremental checking."""
-    previous = _incremental
+    previous = _incremental_override
     set_incremental(enabled)
     try:
         yield

@@ -17,19 +17,36 @@ Workers re-enumerate their shard from the pickled
 processes.  The parent's backend configuration is replicated into each
 worker explicitly (an initializer, not environment inheritance), so
 ``use_backend``/``use_incremental`` contexts apply to parallel runs too.
+
+Observability (:mod:`repro.obs`) crosses the pool the same way: when the
+parent has a collector installed, each worker runs its task under a local
+:func:`repro.obs.collect` block and ships the serialised
+:class:`~repro.obs.RunReport` back with the task result
+(:func:`run_observed`); the parent absorbs the reports, so counter totals
+are *exact* — a serial run and a merged parallel run of the same test
+produce identical enumeration/judgement counters (``tests/test_obs.py``).
+Span statistics merge too (per-worker wall time sums); the raw
+``trace`` event list stays parent-process only.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.kernel import config as _config
+from repro.obs import core as _obs
+
+#: Set in each worker by the pool initializer: the parent had a collector
+#: installed, so tasks must collect locally and ship their report home.
+_WORKER_OBSERVING = False
 
 
-def _init_worker(backend: str, incremental: bool) -> None:
+def _init_worker(backend: str, incremental: bool, observing: bool) -> None:
+    global _WORKER_OBSERVING
     _config.set_backend(backend)
     _config.set_incremental(incremental)
+    _WORKER_OBSERVING = observing
 
 
 def worker_pool(jobs: int):
@@ -37,8 +54,35 @@ def worker_pool(jobs: int):
     return multiprocessing.get_context().Pool(
         processes=jobs,
         initializer=_init_worker,
-        initargs=(_config.backend(), _config.incremental_enabled()),
+        initargs=(
+            _config.backend(),
+            _config.incremental_enabled(),
+            _obs.enabled(),
+        ),
     )
+
+
+def run_observed(fn: Callable[[], Any]) -> Tuple[Any, Optional[Dict]]:
+    """Run a task, collecting a local report if the parent is observing.
+
+    In a worker of :func:`worker_pool` with an observing parent, ``fn``
+    runs under a fresh collector and its serialised report is returned for
+    the parent to :func:`~repro.obs.absorb`.  Anywhere else (serial path,
+    non-observing pool) ``fn`` runs as-is and the report slot is ``None``.
+    """
+    if not _WORKER_OBSERVING:
+        return fn(), None
+    with _obs.collect() as collector:
+        result = fn()
+    return result, collector.report().to_dict()
+
+
+def _absorb_reports(outcomes: Sequence[Tuple[Any, Optional[Dict]]]) -> List:
+    """Merge worker reports into the parent collector; return the results."""
+    for _, report in outcomes:
+        if report is not None:
+            _obs.absorb(report)
+    return [result for result, _ in outcomes]
 
 
 # -- one program, sharded trace combinations ----------------------------
@@ -48,15 +92,17 @@ def _run_shard(task):
     model, program, shard, shard_count, require_sc, keep_states = task
     from repro.herd import run_litmus_many
 
-    results = run_litmus_many(
-        [model],
-        program,
-        require_sc_per_location=require_sc,
-        keep_states=keep_states,
-        shard=shard,
-        shard_count=shard_count,
-    )
-    return results[model.name]
+    def run():
+        return run_litmus_many(
+            [model],
+            program,
+            require_sc_per_location=require_sc,
+            keep_states=keep_states,
+            shard=shard,
+            shard_count=shard_count,
+        )[model.name]
+
+    return run_observed(run)
 
 
 def merge_results(partials: Sequence) -> "RunResult":
@@ -98,13 +144,16 @@ def run_litmus_parallel(
             require_sc_per_location=require_sc_per_location,
             keep_states=keep_states,
         )[model.name]
+    if _obs.ENABLED:
+        _obs.gauge("parallel.jobs", jobs)
+        _obs.count("parallel.sharded_runs")
     tasks = [
         (model, program, shard, jobs, require_sc_per_location, keep_states)
         for shard in range(jobs)
     ]
-    with worker_pool(jobs) as pool:
-        partials = pool.map(_run_shard, tasks)
-    return merge_results(partials)
+    with _obs.span("parallel.run_litmus"), worker_pool(jobs) as pool:
+        outcomes = pool.map(_run_shard, tasks)
+    return merge_results(_absorb_reports(outcomes))
 
 
 # -- many programs, distributed whole ------------------------------------
@@ -114,10 +163,13 @@ def _run_program(task):
     models, program, kwargs = task
     from repro.herd import run_litmus_many
 
-    results = run_litmus_many(models, program, **kwargs)
-    return program.name, {
-        model.name: results[model.name].verdict for model in models
-    }
+    def run():
+        results = run_litmus_many(models, program, **kwargs)
+        return program.name, {
+            model.name: results[model.name].verdict for model in models
+        }
+
+    return run_observed(run)
 
 
 def verdicts_parallel(
@@ -130,8 +182,13 @@ def verdicts_parallel(
     jobs = max(1, int(jobs))
     tasks = [(models, program, kwargs) for program in programs]
     if jobs == 1 or len(tasks) <= 1:
-        pairs = [_run_program(task) for task in tasks]
+        outcomes = [_run_program(task) for task in tasks]
     else:
-        with worker_pool(min(jobs, len(tasks))) as pool:
-            pairs = pool.map(_run_program, tasks)
-    return dict(pairs)
+        if _obs.ENABLED:
+            _obs.gauge("parallel.jobs", jobs)
+            _obs.count("parallel.program_batches")
+        with _obs.span("parallel.verdicts"), worker_pool(
+            min(jobs, len(tasks))
+        ) as pool:
+            outcomes = pool.map(_run_program, tasks)
+    return dict(_absorb_reports(outcomes))

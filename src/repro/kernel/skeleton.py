@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict
 
+from repro.obs import core as _obs
+
 
 class TraceSkeleton:
     """Memo table shared by all rf×co candidates of one trace combination."""
@@ -30,11 +32,16 @@ class TraceSkeleton:
 
     def memo(self, key: Any, compute: Callable[[], Any]) -> Any:
         try:
-            return self._memo[key]
+            value = self._memo[key]
         except KeyError:
+            if _obs.ENABLED:
+                _obs.count("skeleton.memo_miss")
             value = compute()
             self._memo[key] = value
             return value
+        if _obs.ENABLED:
+            _obs.count("skeleton.memo_hit")
+        return value
 
     def seed(self, key: Any, value: Any) -> None:
         """Pre-populate a memo entry (used by the enumerator, which has

@@ -70,6 +70,7 @@ from repro.events import (
 )
 from repro.executions.candidate import CandidateExecution
 from repro.model import AxiomViolation, Model, ModelResult
+from repro.obs import core as _obs
 from repro.relations import EventSet, Relation, least_fixpoint
 
 
@@ -338,25 +339,30 @@ class LinuxKernelModel(Model):
         x = execution
         violations: List[AxiomViolation] = []
 
-        scpv = x.po_loc | x.com
-        cycle = scpv.find_cycle()
+        with _obs.span("lkmm.check.Scpv"):
+            scpv = x.po_loc | x.com
+            cycle = scpv.find_cycle()
         if cycle is not None:
             violations.append(AxiomViolation("Scpv", "acyclic", tuple(cycle)))
 
-        at = x.rmw & x.fre.sequence(x.coe)
+        with _obs.span("lkmm.check.At"):
+            at = x.rmw & x.fre.sequence(x.coe)
         if not at.is_empty():
             violations.append(AxiomViolation("At", "empty", tuple(at.pairs)))
 
-        cycle = rel.hb.find_cycle()
+        with _obs.span("lkmm.check.Hb"):
+            cycle = rel.hb.find_cycle()
         if cycle is not None:
             violations.append(AxiomViolation("Hb", "acyclic", tuple(cycle)))
 
-        cycle = rel.pb.find_cycle()
+        with _obs.span("lkmm.check.Pb"):
+            cycle = rel.pb.find_cycle()
         if cycle is not None:
             violations.append(AxiomViolation("Pb", "acyclic", tuple(cycle)))
 
         if self.with_rcu:
-            reflexive = rel.rcu_path.reflexive_pairs()
+            with _obs.span("lkmm.check.Rcu"):
+                reflexive = rel.rcu_path.reflexive_pairs()
             if reflexive:
                 witness = tuple(
                     event for pair in reflexive[:1] for event in pair
@@ -365,4 +371,8 @@ class LinuxKernelModel(Model):
                     AxiomViolation("Rcu", "irreflexive", witness)
                 )
 
+        if _obs.ENABLED:
+            _obs.count("lkmm.checks")
+            for violation in violations:
+                _obs.count(f"lkmm.violation.{violation.axiom}")
         return ModelResult(allowed=not violations, violations=violations)

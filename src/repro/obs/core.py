@@ -1,0 +1,214 @@
+"""The collection half of :mod:`repro.obs`: spans, counters, gauges.
+
+One process-global :class:`Collector` (or none).  Everything here is built
+around the disabled case being near-free:
+
+* :data:`ENABLED` is a plain module attribute mirroring "a collector is
+  installed".  Hot paths (the skeleton memo table, the enumerator's inner
+  loops) guard their bookkeeping with ``if _obs.ENABLED:`` — one attribute
+  read when observability is off.
+* :func:`span` returns a shared no-op context manager when disabled, so
+  instrumented ``with`` blocks cost two empty method calls.
+
+Span nesting is tracked in a :class:`contextvars.ContextVar`, so spans
+balance per logical context and survive exceptions (``with`` guarantees
+``__exit__``).  Aggregation is flat-by-name — ``cat.check.Hb`` accumulates
+one (count, total, max) triple no matter where it nests — while the
+optional raw trace (:func:`collect` with ``trace=True``) records every
+span occurrence with its start offset, duration, depth and parent.
+
+This module must not import anything from :mod:`repro` outside
+:mod:`repro.obs` — the kernel layers import *it*.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.report import RunReport, SpanStat
+
+#: Fast-path flag for hot loops; always equals ``_collector is not None``.
+ENABLED = False
+
+_collector: Optional["Collector"] = None
+
+_SPAN_STACK: contextvars.ContextVar[Tuple[str, ...]] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
+
+class Collector:
+    """Accumulates counters, gauges and span statistics for one run."""
+
+    __slots__ = ("counters", "gauges", "spans", "trace_events", "_epoch")
+
+    def __init__(self, trace: bool = False):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.spans: Dict[str, SpanStat] = {}
+        self.trace_events: Optional[List[Dict[str, Any]]] = (
+            [] if trace else None
+        )
+        self._epoch = time.perf_counter()
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def record_span(
+        self, name: str, start: float, duration: float, stack: Tuple[str, ...]
+    ) -> None:
+        stat = self.spans.get(name)
+        if stat is None:
+            stat = self.spans[name] = SpanStat()
+        stat.count += 1
+        stat.total_s += duration
+        if duration > stat.max_s:
+            stat.max_s = duration
+        if self.trace_events is not None:
+            self.trace_events.append(
+                {
+                    "name": name,
+                    "start_s": round(start - self._epoch, 9),
+                    "duration_s": round(duration, 9),
+                    "depth": len(stack),
+                    "parent": stack[-1] if stack else None,
+                }
+            )
+
+    def absorb(self, data: Dict[str, Any]) -> None:
+        """Merge a serialised report (e.g. from a worker process) in."""
+        for name, n in data.get("counters", {}).items():
+            self.count(name, n)
+        self.gauges.update(data.get("gauges", {}))
+        for name, stat in data.get("spans", {}).items():
+            mine = self.spans.get(name)
+            if mine is None:
+                mine = self.spans[name] = SpanStat()
+            mine.count += stat["count"]
+            mine.total_s += stat["total_s"]
+            mine.max_s = max(mine.max_s, stat["max_s"])
+
+    # -- exporting -------------------------------------------------------
+
+    def report(self) -> RunReport:
+        return RunReport(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            spans={name: stat.as_dict() for name, stat in self.spans.items()},
+            trace=list(self.trace_events or ()),
+        )
+
+
+class _Span:
+    """A live span; records its duration into the collector that opened it."""
+
+    __slots__ = ("name", "_collector", "_start", "_token")
+
+    def __init__(self, name: str, collector: Collector):
+        self.name = name
+        self._collector = collector
+
+    def __enter__(self) -> "_Span":
+        stack = _SPAN_STACK.get()
+        self._token = _SPAN_STACK.set(stack + (self.name,))
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        token = self._token
+        _SPAN_STACK.reset(token)
+        self._collector.record_span(
+            self.name, self._start, duration, _SPAN_STACK.get()
+        )
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+# -- public API -------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """True iff a collector is currently installed."""
+    return _collector is not None
+
+
+def span(name: str):
+    """A context manager timing ``name``; free when observability is off."""
+    collector = _collector
+    if collector is None:
+        return _NOOP_SPAN
+    return _Span(name, collector)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op when disabled)."""
+    collector = _collector
+    if collector is not None:
+        collector.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (last write wins; no-op when off)."""
+    collector = _collector
+    if collector is not None:
+        collector.gauge(name, value)
+
+
+def absorb(data: Dict[str, Any]) -> None:
+    """Merge a worker's serialised report into the active collector."""
+    collector = _collector
+    if collector is not None:
+        collector.absorb(data)
+
+
+def active_spans() -> Tuple[str, ...]:
+    """The names of the spans currently open in this context (for tests)."""
+    return _SPAN_STACK.get()
+
+
+def current() -> Optional[Collector]:
+    """The installed collector, if any."""
+    return _collector
+
+
+@contextmanager
+def collect(trace: bool = False) -> Iterator[Collector]:
+    """Install a fresh collector for the duration of the block.
+
+    Nested ``collect`` blocks shadow the outer collector (the outer one
+    resumes afterwards); ``trace=True`` additionally records the raw span
+    event list for ``--trace-json``.
+    """
+    global _collector, ENABLED
+    previous = _collector
+    collector = Collector(trace=trace)
+    _collector = collector
+    ENABLED = True
+    try:
+        yield collector
+    finally:
+        _collector = previous
+        ENABLED = previous is not None

@@ -16,10 +16,12 @@ litmus files.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
+from repro import obs
 from repro.cat import load_model
 from repro.herd import run_litmus
 from repro.hardware import run_klitmus
@@ -45,6 +47,40 @@ def _resolve_model(name: str):
     if name in ("lkmm-native", "native"):
         return LinuxKernelModel()
     return load_model(name)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect span timings and search counters; print a profile "
+        "table after the run",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write the full observability report (counters, span stats, "
+        "raw span trace) as JSON to FILE",
+    )
+
+
+def _observe(args) -> "contextlib.AbstractContextManager":
+    """An ``obs.collect`` context when ``--profile``/``--trace-json`` asks
+    for one, else a no-op context yielding ``None``."""
+    if args.profile or args.trace_json:
+        return obs.collect(trace=bool(args.trace_json))
+    return contextlib.nullcontext()
+
+
+def _emit_observations(args, collector: Optional[obs.Collector]) -> None:
+    if collector is None:
+        return
+    report = collector.report()
+    if args.profile:
+        print(report.format_profile())
+    if args.trace_json:
+        Path(args.trace_json).write_text(report.to_json() + "\n")
+        print(f"wrote trace to {args.trace_json}")
 
 
 def herd_main(argv: List[str] | None = None) -> int:
@@ -82,35 +118,38 @@ def herd_main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="shard each test's trace combinations over N worker processes",
     )
+    _add_obs_arguments(parser)
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
 
     model = _resolve_model(args.model)
-    for program in _resolve_tests(args.tests):
-        result = run_litmus(model, program, jobs=args.jobs)
-        print(result.describe())
-        if args.check_races:
-            from repro.analysis.races import check_races
+    with _observe(args) as collector:
+        for program in _resolve_tests(args.tests):
+            result = run_litmus(model, program, jobs=args.jobs)
+            print(result.describe())
+            if args.check_races:
+                from repro.analysis.races import check_races
 
-            race_model = (
-                model
-                if isinstance(model, LinuxKernelModel)
-                else LinuxKernelModel()
-            )
-            print(check_races(program, model=race_model).describe())
-        if args.states:
-            print(f"States {len(result.states)}")
-            for state in sorted(result.states, key=repr):
-                registers = "; ".join(
-                    f"{tid}:{name}={value!r}"
-                    for (tid, name), value in sorted(state.registers.items())
-                    if not name.startswith("__")
+                race_model = (
+                    model
+                    if isinstance(model, LinuxKernelModel)
+                    else LinuxKernelModel()
                 )
-                print(f"  {registers}")
-            print(f"Observation {program.name} {result.observation}")
-        if args.explain and result.verdict == "Forbid":
-            if result.forbidden_witness is not None:
-                print(explain_forbidden(result.forbidden_witness))
+                print(check_races(program, model=race_model).describe())
+            if args.states:
+                print(f"States {len(result.states)}")
+                for state in sorted(result.states, key=repr):
+                    registers = "; ".join(
+                        f"{tid}:{name}={value!r}"
+                        for (tid, name), value in sorted(state.registers.items())
+                        if not name.startswith("__")
+                    )
+                    print(f"  {registers}")
+                print(f"Observation {program.name} {result.observation}")
+            if args.explain and result.verdict == "Forbid":
+                if result.forbidden_witness is not None:
+                    print(explain_forbidden(result.forbidden_witness))
+    _emit_observations(args, collector)
     return 0
 
 
@@ -183,8 +222,9 @@ def diy_main(argv: List[str] | None = None) -> int:
 
 def _check_races_task(program: Program):
     from repro.analysis.races import check_races
+    from repro.kernel.parallel import run_observed
 
-    return check_races(program)
+    return run_observed(lambda: check_races(program))
 
 
 def _race_reports(race_targets: List[Program], jobs: int):
@@ -193,8 +233,13 @@ def _race_reports(race_targets: List[Program], jobs: int):
         from repro.kernel.parallel import worker_pool
 
         with worker_pool(min(jobs, len(race_targets))) as pool:
-            return pool.map(_check_races_task, race_targets)
-    return [_check_races_task(program) for program in race_targets]
+            outcomes = pool.map(_check_races_task, race_targets)
+    else:
+        outcomes = [_check_races_task(program) for program in race_targets]
+    for _, worker_report in outcomes:
+        if worker_report is not None:
+            obs.absorb(worker_report)
+    return [report for report, _ in outcomes]
 
 
 def lint_main(argv: List[str] | None = None) -> int:
@@ -227,6 +272,7 @@ def lint_main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="race-classify litmus tests on N worker processes",
     )
+    _add_obs_arguments(parser)
     parser.add_argument(
         "targets",
         nargs="*",
@@ -243,47 +289,52 @@ def lint_main(argv: List[str] | None = None) -> int:
 
     findings = []
     race_targets: List[Program] = []
-
-    if args.all_models:
-        for model_findings in lint_all_models().values():
-            findings.extend(model_findings)
-    if args.library:
-        for name, test_findings in lint_library().items():
-            findings.extend(test_findings)
-        if args.races:
-            race_targets.extend(
-                library.get(name) for name in library.all_names()
-            )
-    for target in args.targets:
-        path = Path(target)
-        try:
-            if path.suffix == ".cat":
-                findings.extend(lint_cat_path(path))
-            else:
-                if path.exists():
-                    program = parse_litmus(path.read_text())
-                else:
-                    program = library.get(target)
-                findings.extend(lint_program(program))
-                if args.races:
-                    race_targets.append(program)
-        except (KeyError, OSError) as error:
-            # str(KeyError) wraps the message in quotes; unwrap it.
-            if isinstance(error, KeyError) and error.args:
-                message = error.args[0]
-            else:
-                message = str(error)
-            print(f"repro-lint: {target}: {message}", file=sys.stderr)
-            return 2
-
-    for finding in findings:
-        print(finding.describe())
-
     racy = 0
-    for report in _race_reports(race_targets, args.jobs):
-        print(report.describe())
-        if report.racy:
-            racy += 1
+
+    with _observe(args) as collector:
+        if args.all_models:
+            with obs.span("lint.cat_models"):
+                for model_findings in lint_all_models().values():
+                    findings.extend(model_findings)
+        if args.library:
+            with obs.span("lint.library"):
+                for name, test_findings in lint_library().items():
+                    findings.extend(test_findings)
+            if args.races:
+                race_targets.extend(
+                    library.get(name) for name in library.all_names()
+                )
+        for target in args.targets:
+            path = Path(target)
+            try:
+                if path.suffix == ".cat":
+                    findings.extend(lint_cat_path(path))
+                else:
+                    if path.exists():
+                        program = parse_litmus(path.read_text())
+                    else:
+                        program = library.get(target)
+                    findings.extend(lint_program(program))
+                    if args.races:
+                        race_targets.append(program)
+            except (KeyError, OSError) as error:
+                # str(KeyError) wraps the message in quotes; unwrap it.
+                if isinstance(error, KeyError) and error.args:
+                    message = error.args[0]
+                else:
+                    message = str(error)
+                print(f"repro-lint: {target}: {message}", file=sys.stderr)
+                return 2
+
+        for finding in findings:
+            print(finding.describe())
+
+        with obs.span("lint.races"):
+            for report in _race_reports(race_targets, args.jobs):
+                print(report.describe())
+                if report.racy:
+                    racy += 1
+    _emit_observations(args, collector)
 
     total = len(findings) + racy
     if total:

@@ -1,0 +1,138 @@
+"""Regression tests for :mod:`repro.kernel.config` env handling.
+
+The original implementation read ``REPRO_RELATION_BACKEND`` /
+``REPRO_INCREMENTAL`` once at import time, so per-test toggling required a
+subprocess.  The config now re-reads the environment on every query (with
+a last-raw-value parse cache) and layers process-local overrides on top.
+These tests exercise exactly the behaviours that regression would break:
+
+* ``monkeypatch.setenv`` changes take effect immediately, same process;
+* overrides (``set_backend`` / the context managers) beat the env and
+  restore cleanly, including when nested;
+* invalid env values raise lazily at query time, not import time;
+* the actual :class:`~repro.relations.Relation` representation follows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import config
+from repro.litmus import library
+from repro.herd import run_litmus
+from repro.lkmm import LinuxKernelModel
+from repro.relations import Relation
+
+
+@pytest.fixture(autouse=True)
+def clean_overrides():
+    """Each test starts (and its neighbours end) with no overrides."""
+    config.set_backend(None)
+    config.set_incremental(None)
+    yield
+    config.set_backend(None)
+    config.set_incremental(None)
+
+
+class TestEnvReRead:
+    def test_backend_env_change_is_seen_immediately(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "frozenset")
+        assert config.backend() == "frozenset"
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "bitset")
+        assert config.backend() == "bitset"
+        monkeypatch.delenv("REPRO_RELATION_BACKEND")
+        assert config.backend() == "bitset"  # the default
+
+    def test_incremental_env_change_is_seen_immediately(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        assert not config.incremental_enabled()
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        assert config.incremental_enabled()
+        monkeypatch.delenv("REPRO_INCREMENTAL")
+        assert config.incremental_enabled()  # the default
+
+    def test_env_value_is_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "  FrozenSet ")
+        assert config.backend() == "frozenset"
+
+    @pytest.mark.parametrize("falsy", ["0", "false", "no", "off"])
+    def test_incremental_falsy_spellings(self, monkeypatch, falsy):
+        monkeypatch.setenv("REPRO_INCREMENTAL", falsy)
+        assert not config.incremental_enabled()
+
+    def test_invalid_backend_raises_at_query_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "linked-list")
+        with pytest.raises(ValueError, match="linked-list"):
+            config.backend()
+        # And recovers once the env is fixed — no poisoned cache.
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "bitset")
+        assert config.backend() == "bitset"
+
+    def test_relations_follow_env_per_case(self, monkeypatch):
+        """The point of the fix: backends toggle per test case, in-process.
+
+        The bitset representation indexes events; the frozenset reference
+        stores plain pairs.  Build one Relation under each env setting and
+        check the representation actually switched.
+        """
+        events = frozenset()
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "frozenset")
+        reference = Relation([], events)
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "bitset")
+        bitset = Relation([], events)
+        assert reference._dense is None and reference._pairs == frozenset()
+        assert bitset._dense is not None
+
+    def test_verdict_invariant_across_env_backends(self, monkeypatch):
+        """Same verdict under both env-selected backends, one process."""
+        model = LinuxKernelModel()
+        program = library.get("MP+wmb+rmb")
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "frozenset")
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        reference = run_litmus(model, program)
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "bitset")
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        fast = run_litmus(model, program)
+        assert reference.verdict == fast.verdict == "Forbid"
+        assert reference.candidates == fast.candidates
+
+
+class TestOverrides:
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "frozenset")
+        config.set_backend("bitset")
+        assert config.backend() == "bitset"
+        config.set_backend(None)
+        assert config.backend() == "frozenset"
+
+    def test_set_backend_validates(self):
+        with pytest.raises(ValueError, match="linked-list"):
+            config.set_backend("linked-list")
+
+    def test_use_backend_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RELATION_BACKEND", "frozenset")
+        with config.use_backend("bitset"):
+            assert config.backend() == "bitset"
+        assert config.backend() == "frozenset"
+
+    def test_use_backend_restores_on_error(self):
+        before = config.backend()
+        other = "frozenset" if before == "bitset" else "bitset"
+        with pytest.raises(RuntimeError):
+            with config.use_backend(other):
+                raise RuntimeError()
+        assert config.backend() == before
+
+    def test_nested_use_backend(self):
+        before = config.backend()
+        with config.use_backend("frozenset"):
+            with config.use_backend("bitset"):
+                assert config.backend() == "bitset"
+            assert config.backend() == "frozenset"
+        assert config.backend() == before
+
+    def test_use_incremental_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        with config.use_incremental(False):
+            assert not config.incremental_enabled()
+        assert config.incremental_enabled()
