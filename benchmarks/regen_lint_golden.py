@@ -1,0 +1,61 @@
+"""Regenerate the golden lint snapshot (``tests/data/lint_golden.json``).
+
+The snapshot freezes the per-test finding *codes* of
+:func:`repro.analysis.litmuslint.lint_library` over the entire built-in
+litmus library, plus the per-model codes of
+:func:`repro.analysis.catlint.lint_all_models` over every shipped cat
+model.  Any checker that starts (or stops) firing on existing inputs
+fails ``tests/test_lint_golden.py`` loudly instead of drifting silently —
+codes are part of the tool's output contract.
+
+Run after an *intentional* checker change, then review the diff::
+
+    PYTHONPATH=src python benchmarks/regen_lint_golden.py
+    git diff tests/data/lint_golden.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.catlint import lint_all_models  # noqa: E402
+from repro.analysis.litmuslint import lint_library  # noqa: E402
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "lint_golden.json"
+
+
+def compute_snapshot():
+    return {
+        "library": {
+            name: sorted(f"{f.code}:{f.category}" for f in findings)
+            for name, findings in lint_library().items()
+        },
+        "models": {
+            name: sorted(f"{f.code}:{f.category}" for f in findings)
+            for name, findings in lint_all_models().items()
+        },
+    }
+
+
+def main() -> int:
+    snapshot = compute_snapshot()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+    flagged = sum(1 for codes in snapshot["library"].values() if codes)
+    print(
+        f"wrote {len(snapshot['library'])} tests "
+        f"({flagged} with findings) and {len(snapshot['models'])} models "
+        f"to {GOLDEN_PATH}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Static analysis over models, litmus tests, and executions.
 
-Three passes, all new correctness tooling on top of the paper's stack:
+The passes, all new correctness tooling on top of the paper's stack:
 
 * :mod:`repro.analysis.races` — an execution-level data-race detector:
   conflicting plain accesses unordered by an LKMM-derived happens-before,
@@ -8,17 +8,36 @@ Three passes, all new correctness tooling on top of the paper's stack:
   model covers marked accesses only);
 * :mod:`repro.analysis.catlint` — candidate-independent lint for cat
   models (undefined identifiers, unknown base sets, unused or shadowing
-  ``let`` bindings, duplicate check names);
+  ``let`` bindings, duplicate check names, set/relation sort inference,
+  empty-by-construction intersections);
 * :mod:`repro.analysis.litmuslint` — lint for litmus programs
-  (uninitialized reads, unused registers, conditions naming unknown
-  registers or locations, syntactic plain-race heuristic, dangling
-  fences).
+  (conditions naming unknown registers or locations, syntactic
+  plain-race heuristic, dangling fences);
+* :mod:`repro.analysis.flow` — an intraprocedural dataflow framework
+  (CFGs, a generic worklist solver, reaching definitions / liveness /
+  constant propagation / region analysis) and the path-sensitive
+  checkers on top: RCU discipline, spinlock discipline, fragile
+  compiler-breakable dependencies, precise uninitialised-read and
+  dead-store detection.
 
-The ``repro-lint`` command-line tool (:mod:`repro.tools.cli`) drives the
-two linters; ``repro-herd --check-races`` drives the race detector.
+Every pass reports :class:`~repro.analysis.findings.Finding` values with
+stable codes and severities; the ``repro-lint`` command-line tool
+(:mod:`repro.tools.cli`) drives them all and exits non-zero only on
+error-severity findings.  ``repro-herd --check-races`` drives the race
+detector interactively.
 """
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import (
+    CATEGORIES,
+    ERROR,
+    Finding,
+    INFO,
+    WARNING,
+    count_errors,
+    describe_findings,
+    findings_to_json,
+    findings_to_sarif,
+)
 from repro.analysis.catlint import (
     lint_all_models,
     lint_cat,
@@ -26,6 +45,16 @@ from repro.analysis.catlint import (
     lint_cat_source,
 )
 from repro.analysis.litmuslint import lint_library, lint_program
+from repro.analysis.flow import (
+    Cfg,
+    build_cfg,
+    check_dataflow,
+    check_dependencies,
+    check_locks,
+    check_rcu,
+    lint_program_flow,
+    solve,
+)
 from repro.analysis.races import (
     RACE_FREE,
     RACY,
@@ -37,13 +66,29 @@ from repro.analysis.races import (
 )
 
 __all__ = [
+    "CATEGORIES",
+    "ERROR",
     "Finding",
+    "INFO",
+    "WARNING",
+    "count_errors",
+    "describe_findings",
+    "findings_to_json",
+    "findings_to_sarif",
     "lint_all_models",
     "lint_cat",
     "lint_cat_path",
     "lint_cat_source",
     "lint_library",
     "lint_program",
+    "Cfg",
+    "build_cfg",
+    "check_dataflow",
+    "check_dependencies",
+    "check_locks",
+    "check_rcu",
+    "lint_program_flow",
+    "solve",
     "RACE_FREE",
     "RACY",
     "RaceReport",

@@ -19,7 +19,24 @@ a parsed :class:`~repro.cat.ast.CatFile` without any execution and flags:
 * ``duplicate-check-name`` — two checks sharing one ``as`` name, which
   makes their violations indistinguishable in reports;
 * ``missing-include`` — an ``include`` of a file absent from the models
-  directory.
+  directory;
+* ``sort-mismatch`` — every expression is typed as an *event set* or a
+  *relation* (cat's two sorts) by a bottom-up inference over the builtin
+  environment and earlier ``let`` bindings.  Mixing the sorts where herd
+  would reject the model is an error: a set operand of ``;``, ``^-1``,
+  ``?``, ``+``, ``*`` or of a set/relation union (the evaluator here
+  silently coerces the set to an identity relation — write ``[S]`` if
+  that is intended), a relation operand of ``S * T``, ``[S]`` or
+  ``fencerel``, a set argument of ``domain``/``range``.  Function
+  parameters and recursive bindings type as unknown/relation, so
+  inference never guesses;
+* ``empty-intersection`` — an ``&`` of two event sets that is empty *by
+  construction*: distinct event kinds (``R & W`` — reads, writes and
+  fences are pairwise disjoint, ``M`` is ``R | W``, ``IW`` is a subset
+  of ``W``) or two distinct annotation sets (every event carries exactly
+  one tag, so ``Acquire & Release`` can never hold events).  The check
+  never fires through bindings or tag-vs-kind pairs, only on provably
+  empty atoms.
 
 The builtin environment is derived from the same tables the evaluator
 uses (:func:`repro.cat.eval.builtin_environment` and
@@ -29,9 +46,9 @@ uses (:func:`repro.cat.eval.builtin_environment` and
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, describe_findings  # noqa: F401
 from repro.cat import MODELS_DIR, TAG_SETS, parse_cat
 from repro.cat import ast as C
 
@@ -49,6 +66,25 @@ BUILTIN_SETS = frozenset({"_", "R", "W", "F", "M", "IW"}) | frozenset(TAG_SETS)
 BUILTIN_FUNCTIONS = frozenset({"domain", "range", "fencerel"})
 
 BUILTINS = BUILTIN_RELATIONS | BUILTIN_SETS
+
+#: The two cat sorts, plus "don't know" (function parameters, results of
+#: user-defined functions applied to unknowns, names already reported as
+#: undefined).  UNKNOWN never produces a mismatch: inference only reports
+#: what it can prove.
+SET = "set"
+REL = "relation"
+UNKNOWN = "unknown"
+
+#: Event kinds each structural builtin set may contain.  ``R``/``W``/``F``
+#: are pairwise disjoint; annotation sets are not listed here (a tag may
+#: annotate any kind).
+_KIND_SETS = {
+    "R": frozenset({"R"}),
+    "W": frozenset({"W"}),
+    "M": frozenset({"R", "W"}),
+    "F": frozenset({"F"}),
+    "IW": frozenset({"W"}),
+}
 
 
 def lint_cat(
@@ -88,6 +124,8 @@ class _CatLinter:
         self.findings: List[Finding] = []
         #: User bindings, in definition order: name -> kind ("value"/"function").
         self.bindings: Dict[str, str] = {}
+        #: Inferred sort per binding (for functions: of the body).
+        self.sorts: Dict[str, str] = {}
         self.used: Set[str] = set()
         self.check_names: Set[str] = set()
         self.included: Set[str] = set()
@@ -113,7 +151,7 @@ class _CatLinter:
         return self.findings
 
     def _report(self, category: str, message: str) -> None:
-        self.findings.append(Finding(self.source, category, message))
+        self.findings.append(Finding.of(self.source, category, message))
 
     # -- statements ------------------------------------------------------
 
@@ -144,17 +182,19 @@ class _CatLinter:
                 "a 'let ... and ...' group binds the same name twice",
             )
         if statement.recursive:
-            # Mutually recursive: all names are in scope in every body.
+            # Mutually recursive: all names are in scope in every body,
+            # and `let rec` only makes sense for relations (a fixpoint of
+            # event sets has no cat syntax), so pre-type them as such.
             for binding in statement.bindings:
-                self._bind(binding)
+                self._bind(binding, REL)
             for binding in statement.bindings:
                 self._expr(binding.expr, extra=set(binding.params))
         else:
             for binding in statement.bindings:
-                self._expr(binding.expr, extra=set(binding.params))
-                self._bind(binding)
+                sort = self._expr(binding.expr, extra=set(binding.params))
+                self._bind(binding, sort)
 
-    def _bind(self, binding: C.LetBinding) -> None:
+    def _bind(self, binding: C.LetBinding, sort: str) -> None:
         if binding.name in BUILTINS or binding.name in BUILTIN_FUNCTIONS:
             self._report(
                 "shadowing",
@@ -166,6 +206,7 @@ class _CatLinter:
                 f"'let {binding.name}' shadows an earlier binding",
             )
         self.bindings[binding.name] = "function" if binding.params else "value"
+        self.sorts[binding.name] = sort
 
     def _check(self, statement: C.Check) -> None:
         self._expr(statement.expr, extra=set())
@@ -177,39 +218,108 @@ class _CatLinter:
                 )
             self.check_names.add(statement.name)
 
-    # -- expressions -----------------------------------------------------
+    # -- expressions (walk + sort inference) -----------------------------
 
-    def _expr(self, expr: C.CatExpr, extra: Set[str]) -> None:
+    def _expr(self, expr: C.CatExpr, extra: Set[str]) -> str:
+        """Walk an expression; returns its inferred sort."""
         if isinstance(expr, C.Id):
-            self._name(expr.name, extra)
-        elif isinstance(expr, C.App):
-            if expr.func in self.bindings:
-                self.used.add(expr.func)
-                if self.bindings[expr.func] != "function":
-                    self._report(
-                        "undefined-function",
-                        f"{expr.func!r} is a plain binding, not a function",
-                    )
-            elif expr.func not in BUILTIN_FUNCTIONS:
+            return self._name(expr.name, extra)
+        if isinstance(expr, C.EmptyRel):
+            return REL
+        if isinstance(expr, C.App):
+            return self._app(expr, extra)
+        if isinstance(expr, (C.Union, C.Inter, C.Diff)):
+            op = {C.Union: "|", C.Inter: "&", C.Diff: "\\"}[type(expr)]
+            lhs = self._expr(expr.lhs, extra)
+            rhs = self._expr(expr.rhs, extra)
+            if {lhs, rhs} == {SET, REL}:
                 self._report(
-                    "undefined-function", f"unknown function {expr.func!r}"
+                    "sort-mismatch",
+                    f"'{op}' mixes an event set and a relation — write "
+                    "[S] to lift the set to an identity relation if that "
+                    "is intended",
+                )
+                return REL
+            if isinstance(expr, C.Inter) and lhs == rhs == SET:
+                self._check_empty_intersection(expr)
+            if lhs == rhs:
+                return lhs
+            return lhs if rhs == UNKNOWN else rhs
+        if isinstance(expr, C.Seq):
+            self._expect(expr.lhs, extra, REL, "';'")
+            self._expect(expr.rhs, extra, REL, "';'")
+            return REL
+        if isinstance(expr, C.Cartesian):
+            self._expect(expr.lhs, extra, SET, "'*'")
+            self._expect(expr.rhs, extra, SET, "'*'")
+            return REL
+        if isinstance(expr, C.Compl):
+            # '~' is polymorphic: complements a set or a relation.
+            return self._expr(expr.operand, extra)
+        if isinstance(expr, C.Inverse):
+            self._expect(expr.operand, extra, REL, "'^-1'")
+            return REL
+        if isinstance(expr, C.Opt):
+            self._expect(expr.operand, extra, REL, "'?'")
+            return REL
+        if isinstance(expr, C.Plus):
+            self._expect(expr.operand, extra, REL, "'+'")
+            return REL
+        if isinstance(expr, C.Star):
+            self._expect(expr.operand, extra, REL, "'*' (closure)")
+            return REL
+        if isinstance(expr, C.SetId):
+            self._expect(expr.operand, extra, SET, "'[...]'")
+            return REL
+        return UNKNOWN
+
+    def _expect(
+        self, operand: C.CatExpr, extra: Set[str], wanted: str, where: str
+    ) -> None:
+        got = self._expr(operand, extra)
+        if got not in (wanted, UNKNOWN):
+            self._report(
+                "sort-mismatch",
+                f"{where} expects a {wanted} operand, got a {got}",
+            )
+
+    def _app(self, expr: C.App, extra: Set[str]) -> str:
+        if expr.func in self.bindings:
+            self.used.add(expr.func)
+            if self.bindings[expr.func] != "function":
+                self._report(
+                    "undefined-function",
+                    f"{expr.func!r} is a plain binding, not a function",
                 )
             for arg in expr.args:
                 self._expr(arg, extra)
-        elif isinstance(expr, (C.Union, C.Inter, C.Diff, C.Seq, C.Cartesian)):
-            self._expr(expr.lhs, extra)
-            self._expr(expr.rhs, extra)
-        elif isinstance(expr, (C.Compl, C.Inverse, C.Opt, C.Plus, C.Star,
-                               C.SetId)):
-            self._expr(expr.operand, extra)
-        # EmptyRel has no names.
+            return self.sorts.get(expr.func, UNKNOWN)
+        if expr.func not in BUILTIN_FUNCTIONS:
+            self._report(
+                "undefined-function", f"unknown function {expr.func!r}"
+            )
+            for arg in expr.args:
+                self._expr(arg, extra)
+            return UNKNOWN
+        if expr.func in ("domain", "range"):
+            for arg in expr.args:
+                self._expect(arg, extra, REL, f"'{expr.func}'")
+            return SET
+        # fencerel
+        for arg in expr.args:
+            self._expect(arg, extra, SET, "'fencerel'")
+        return REL
 
-    def _name(self, name: str, extra: Set[str]) -> None:
-        if name in extra or name in BUILTINS:
-            return
+    def _name(self, name: str, extra: Set[str]) -> str:
+        if name in extra:
+            return UNKNOWN
+        if name in BUILTIN_SETS:
+            return SET
+        if name in BUILTIN_RELATIONS:
+            return REL
         if name in self.bindings:
             self.used.add(name)
-            return
+            return self.sorts.get(name, UNKNOWN)
         if name[:1].isupper():
             known = ", ".join(sorted(BUILTIN_SETS))
             self._report(
@@ -220,8 +330,25 @@ class _CatLinter:
             self._report(
                 "undefined-identifier", f"undefined identifier {name!r}"
             )
+        return UNKNOWN
 
-
-def describe_findings(findings: Iterable[Finding]) -> str:
-    """Render findings one per line (used by tests and the CLI)."""
-    return "\n".join(f.describe() for f in findings)
+    def _check_empty_intersection(self, expr: C.Inter) -> None:
+        """Flag ``a & b`` when both sides are builtin-set atoms that can
+        share no event."""
+        if not isinstance(expr.lhs, C.Id) or not isinstance(expr.rhs, C.Id):
+            return
+        a, b = expr.lhs.name, expr.rhs.name
+        if a in TAG_SETS and b in TAG_SETS:
+            if TAG_SETS[a] != TAG_SETS[b]:
+                self._report(
+                    "empty-intersection",
+                    f"'{a} & {b}' is empty by construction: every event "
+                    "carries exactly one annotation",
+                )
+        elif a in _KIND_SETS and b in _KIND_SETS:
+            if not _KIND_SETS[a] & _KIND_SETS[b]:
+                self._report(
+                    "empty-intersection",
+                    f"'{a} & {b}' is empty by construction: reads, writes "
+                    "and fences are disjoint event kinds",
+                )

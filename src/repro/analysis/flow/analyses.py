@@ -1,0 +1,423 @@
+"""The concrete dataflow analyses: reaching definitions, liveness,
+constant propagation, and the RCU/lock region analysis.
+
+All four use deliberately small lattices over hashable values:
+
+* reaching definitions — sets of ``(register, site)`` pairs, where a site
+  is a CFG :data:`~repro.analysis.flow.cfg.Point` or :data:`UNINIT`;
+* liveness — sets of live register names (backward);
+* constant propagation — per-register flat lattice
+  ``unknown < constant < VARIES``, encoded as ``(register, value)`` pairs;
+* region analysis — *sets of path states* ``(rcu_depth, held_locks)``.
+  Litmus CFGs are acyclic with finitely many paths, so tracking one state
+  per path is both exact and terminating (see DESIGN.md's soundness note).
+
+The shared expression helpers (:func:`expr_registers`, :func:`fold_expr`)
+also serve the fragile-dependency checker: :func:`fold_expr` evaluates an
+expression to a compile-time constant whenever a compiler could — constant
+operands, but also dependency-breaking algebraic identities such as
+``r ^ r``, ``r - r``, ``r * 0``, ``r & 0`` and always-true comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+
+from repro.events import Pointer, RCU_LOCK, RCU_UNLOCK, RELEASE, Value
+from repro.litmus.ast import (
+    Assume,
+    BinOp,
+    CmpXchg,
+    Const,
+    Expr,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    LitmusError,
+    Reg,
+    Rmw,
+    Store,
+    UnOp,
+)
+from repro.analysis.flow.cfg import Cfg, Point
+from repro.analysis.flow.dataflow import BACKWARD, DataflowAnalysis, FORWARD
+
+#: The reaching-definitions site of a register never assigned.
+UNINIT = "uninit"
+
+#: The constant-propagation token for "varies at runtime".
+VARIES = "<varies>"
+
+Site = Union[str, Point]
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+
+def expr_registers(expr: Expr) -> FrozenSet[str]:
+    """All register names an expression mentions."""
+    out: Set[str] = set()
+    _collect_registers(expr, out)
+    return frozenset(out)
+
+
+def _collect_registers(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, Reg):
+        out.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _collect_registers(expr.lhs, out)
+        _collect_registers(expr.rhs, out)
+    elif isinstance(expr, UnOp):
+        _collect_registers(expr.operand, out)
+
+
+def fold_expr(expr: Expr, env: Optional[Dict[str, Value]] = None) -> Optional[Value]:
+    """The compile-time constant value of ``expr``, or ``None``.
+
+    ``env`` maps registers to known constants (from constant propagation);
+    registers absent from it vary.  Beyond plain folding, the identities a
+    compiler may exploit to erase a syntactic dependency are applied:
+    ``e ^ e = e - e = 0``, ``e * 0 = e & 0 = 0``, ``e == e = 1`` (and the
+    other reflexive comparisons), short-circuiting ``&&``/``||``.
+    """
+    env = env or {}
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Reg):
+        value = env.get(expr.name, VARIES)
+        return None if value == VARIES else value
+    if isinstance(expr, UnOp):
+        operand = fold_expr(expr.operand, env)
+        if operand is None:
+            return None
+        try:
+            return expr.apply(operand)
+        except LitmusError:
+            return None
+    if isinstance(expr, BinOp):
+        lhs = fold_expr(expr.lhs, env)
+        rhs = fold_expr(expr.rhs, env)
+        if lhs is not None and rhs is not None:
+            try:
+                return expr.apply(lhs, rhs)
+            except LitmusError:
+                return None
+        # Dependency-breaking identities on varying operands.
+        if expr.lhs == expr.rhs:
+            if expr.op in ("^", "-"):
+                return 0
+            if expr.op in ("==", "<=", ">="):
+                return 1
+            if expr.op in ("!=", "<", ">"):
+                return 0
+        if expr.op in ("*", "&") and (lhs == 0 or rhs == 0):
+            return 0
+        if expr.op == "&&" and (lhs == 0 or rhs == 0):
+            return 0
+        if expr.op == "||" and (
+            (lhs is not None and lhs != 0) or (rhs is not None and rhs != 0)
+        ):
+            return 1
+        return None
+    return None
+
+
+def instruction_def(ins: Instruction) -> Optional[str]:
+    """The register the instruction assigns, if any."""
+    if isinstance(ins, (Load, Rmw, CmpXchg, LocalAssign)):
+        return ins.reg
+    return None
+
+
+def instruction_uses(ins: Instruction) -> FrozenSet[str]:
+    """The registers whose *prior* values the instruction reads.
+
+    For RMWs, ``new_value`` mentioning the destination register refers to
+    the value just read (see :mod:`repro.executions.thread_sem`), so that
+    register is excluded from the uses.
+    """
+    if isinstance(ins, Load):
+        return expr_registers(ins.addr)
+    if isinstance(ins, Store):
+        return expr_registers(ins.addr) | expr_registers(ins.value)
+    if isinstance(ins, Rmw):
+        return expr_registers(ins.addr) | (
+            expr_registers(ins.new_value) - {ins.reg}
+        )
+    if isinstance(ins, CmpXchg):
+        return (
+            expr_registers(ins.addr)
+            | expr_registers(ins.expected)
+            | (expr_registers(ins.new_value) - {ins.reg})
+        )
+    if isinstance(ins, LocalAssign):
+        return expr_registers(ins.expr)
+    if isinstance(ins, (If, Assume)):
+        return expr_registers(ins.cond)
+    return frozenset()
+
+
+def cfg_registers(cfg: Cfg) -> FrozenSet[str]:
+    """Every register a CFG assigns or reads."""
+    regs: Set[str] = set()
+    for _, ins in cfg.instructions():
+        defined = instruction_def(ins)
+        if defined is not None:
+            regs.add(defined)
+        regs |= instruction_uses(ins)
+        if isinstance(ins, (Rmw, CmpXchg)):
+            regs |= expr_registers(ins.new_value)
+    return frozenset(regs)
+
+
+def static_location(addr: Expr) -> Optional[str]:
+    """The statically-known location of an address expression, if any."""
+    if isinstance(addr, Const) and isinstance(addr.value, Pointer):
+        return addr.value.loc
+    value = fold_expr(addr)
+    if isinstance(value, Pointer):
+        return value.loc
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (forward)
+# ---------------------------------------------------------------------------
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Which definition sites may supply each register's current value.
+
+    Values are frozensets of ``(register, site)`` pairs; the pseudo-site
+    :data:`UNINIT` reaching a use means the register may still hold no
+    value on some path to that point.
+    """
+
+    direction = FORWARD
+
+    def __init__(self, cfg: Cfg):
+        self.registers = cfg_registers(cfg)
+
+    def boundary(self):
+        return frozenset((reg, UNINIT) for reg in self.registers)
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, ins: Instruction, value, point: Point):
+        defined = instruction_def(ins)
+        if defined is None:
+            return value
+        kept = frozenset(pair for pair in value if pair[0] != defined)
+        return kept | {(defined, point)}
+
+
+def possibly_uninit(value: Iterable[Tuple[str, Site]], reg: str) -> bool:
+    """Whether ``reg`` may be unassigned in a reaching-defs value."""
+    return (reg, UNINIT) in value
+
+
+# ---------------------------------------------------------------------------
+# Liveness (backward)
+# ---------------------------------------------------------------------------
+
+
+class Liveness(DataflowAnalysis):
+    """Registers whose current value may still be read later.
+
+    ``exit_live`` seeds the analysis with the registers observable after
+    the thread ends — those the litmus final-state condition mentions for
+    this thread.
+    """
+
+    direction = BACKWARD
+
+    def __init__(self, exit_live: Iterable[str] = ()):
+        self.exit_live = frozenset(exit_live)
+
+    def boundary(self):
+        return self.exit_live
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, ins: Instruction, value, point: Point):
+        defined = instruction_def(ins)
+        if defined is not None:
+            value = value - {defined}
+        return value | instruction_uses(ins)
+
+
+# ---------------------------------------------------------------------------
+# Constant propagation (forward)
+# ---------------------------------------------------------------------------
+
+
+class ConstantPropagation(DataflowAnalysis):
+    """Per-register constants, for folding dependency expressions through
+    local arithmetic (``r1 = r0 & 0; WRITE_ONCE(*p, r1)`` is as fragile
+    as writing ``r0 & 0`` inline).
+
+    Values are frozensets of ``(register, constant-or-VARIES)`` pairs;
+    registers not yet assigned are absent (their value is undefined, which
+    we conservatively treat as varying when used).
+    """
+
+    direction = FORWARD
+
+    def boundary(self):
+        return frozenset()
+
+    def bottom(self):
+        # "Unreached" must be the join identity and is distinct from the
+        # reachable-but-nothing-known frozenset() (joining the latter
+        # forces registers to VARIES, see below).
+        return None
+
+    def join(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a == b:
+            return a
+        merged = dict(a)
+        for reg, value in b:
+            if reg in merged and merged[reg] != value:
+                merged[reg] = VARIES
+            else:
+                merged.setdefault(reg, value)
+        # A register known on one side only may be uninitialised on the
+        # other path; its value still varies.
+        one_sided = {reg for reg, _ in a} ^ {reg for reg, _ in b}
+        for reg in one_sided:
+            merged[reg] = VARIES
+        return frozenset(merged.items())
+
+    def transfer(self, ins: Instruction, value, point: Point):
+        if value is None:  # unreached
+            return None
+        defined = instruction_def(ins)
+        if defined is None:
+            return value
+        kept = frozenset(pair for pair in value if pair[0] != defined)
+        if isinstance(ins, LocalAssign):
+            folded = fold_expr(ins.expr, environment(value))
+            return kept | {(defined, VARIES if folded is None else folded)}
+        return kept | {(defined, VARIES)}
+
+
+def environment(value: Iterable[Tuple[str, Value]]) -> Dict[str, Value]:
+    """A constant-propagation value as a ``fold_expr`` environment."""
+    return {reg: val for reg, val in value if val != VARIES}
+
+
+# ---------------------------------------------------------------------------
+# Region analysis (forward, path-sensitive)
+# ---------------------------------------------------------------------------
+
+
+#: One abstract path state: RCU read-side nesting depth and held locks.
+RegionState = Tuple[int, FrozenSet[str]]
+
+
+def lock_acquire_location(ins: Instruction) -> Optional[str]:
+    """The lock this instruction acquires under the paper's Section 7
+    encoding, if any.
+
+    ``spin_lock(l)`` is an ``xchg_acquire`` constrained to read the lock
+    free (``require_read_value=0``); a ``cmpxchg(l, 0, 1)`` is the
+    trylock-shaped variant (it acquires only on success).
+    """
+    if isinstance(ins, Rmw) and ins.require_read_value == 0:
+        return static_location(ins.addr)
+    if isinstance(ins, CmpXchg) and fold_expr(ins.expected) == 0:
+        return static_location(ins.addr)
+    return None
+
+
+def lock_acquire_is_blocking(ins: Instruction) -> bool:
+    """True for ``spin_lock``-style acquires (must succeed — re-acquiring
+    a held lock self-deadlocks), false for trylock-shaped ``cmpxchg``."""
+    return isinstance(ins, Rmw)
+
+
+def lock_release_location(
+    ins: Instruction, lock_locations: FrozenSet[str]
+) -> Optional[str]:
+    """The lock a ``spin_unlock``-style store releases, if any: a release
+    store of 0 to a known lock location."""
+    if not isinstance(ins, Store) or ins.tag != RELEASE:
+        return None
+    loc = static_location(ins.addr)
+    if loc is None or loc not in lock_locations:
+        return None
+    if fold_expr(ins.value) == 0:
+        return loc
+    return None
+
+
+def program_lock_locations(cfgs: Iterable[Cfg]) -> FrozenSet[str]:
+    """Locations any thread lock-acquires — these are the test's locks."""
+    locks: Set[str] = set()
+    for cfg in cfgs:
+        for _, ins in cfg.instructions():
+            loc = lock_acquire_location(ins)
+            if loc is not None:
+                locks.add(loc)
+    return frozenset(locks)
+
+
+class RegionAnalysis(DataflowAnalysis):
+    """Path-sensitive RCU-section and lock-held tracking.
+
+    The abstract value is the *set* of :data:`RegionState` reachable at a
+    point — one per path, joined by union.  On acyclic litmus CFGs this
+    terminates and is exact: no path is merged away, so "unbalanced on
+    some path" is a real path, never a join artefact.
+    """
+
+    direction = FORWARD
+
+    def __init__(self, lock_locations: FrozenSet[str] = frozenset()):
+        self.lock_locations = lock_locations
+
+    def boundary(self):
+        return frozenset({(0, frozenset())})
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, ins: Instruction, value, point: Point):
+        if isinstance(ins, Fence):
+            if ins.tag == RCU_LOCK:
+                return frozenset((d + 1, held) for d, held in value)
+            if ins.tag == RCU_UNLOCK:
+                # An unlock at depth 0 is reported by the checker; the
+                # state recovers to depth 0 so later code is still checked.
+                return frozenset((max(d - 1, 0), held) for d, held in value)
+            return value
+        acquired = lock_acquire_location(ins)
+        if acquired is not None:
+            taken = frozenset((d, held | {acquired}) for d, held in value)
+            if lock_acquire_is_blocking(ins):
+                return taken
+            # Trylock: both outcomes are real paths.
+            return taken | value
+        released = lock_release_location(ins, self.lock_locations)
+        if released is not None:
+            return frozenset((d, held - {released}) for d, held in value)
+        return value

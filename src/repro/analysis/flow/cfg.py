@@ -1,0 +1,129 @@
+"""Control-flow graphs over litmus thread bodies.
+
+A thread body is a sequence of instructions where the only control flow is
+the structured ``If`` (loops are unrolled into ``Assume``-terminated
+straight-line code before they reach the AST, see
+:class:`~repro.litmus.ast.Assume`).  Lowering is therefore simple and —
+crucially for the soundness of the analyses built on top — produces a
+**directed acyclic graph**: block ids strictly increase along every edge,
+the block list is a topological order, and every path from entry to exit
+is finite.
+
+Each ``If`` ends its enclosing block: the block keeps the branch
+instruction as its *terminator* (``branch``), with successor 0 the
+then-arm and successor 1 the else-arm; both arms re-join in a fresh block.
+The branch condition is evaluated at the end of the terminated block, so
+transfer functions see it after the block's straight-line instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.litmus.ast import If, Instruction
+
+#: A program point: (block id, index of the instruction within the block).
+#: The block's branch terminator sits at index ``len(instructions)``.
+Point = Tuple[int, int]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    Attributes:
+        bid: Dense id; also the block's position in :attr:`Cfg.blocks`.
+        instructions: The non-branching instructions, in program order.
+        branch: The ``If`` terminating this block, if any.  Its *condition*
+            belongs to this block; its arms are separate blocks.
+        succs: Successor block ids.  For a branch: ``[then, else]``.
+        preds: Predecessor block ids.
+    """
+
+    bid: int
+    instructions: List[Instruction] = field(default_factory=list)
+    branch: Optional[If] = None
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.instructions and self.branch is None
+
+
+@dataclass
+class Cfg:
+    """A thread's control-flow graph.
+
+    ``blocks`` is topologically sorted (ids increase along every edge);
+    ``blocks[0]`` is the unique entry and ``blocks[-1]`` the unique exit.
+    """
+
+    blocks: List[BasicBlock]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[-1]
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def instructions(self) -> Iterator[Tuple[Point, Instruction]]:
+        """Every instruction (branch terminators included) with its point,
+        in topological block order."""
+        for block in self.blocks:
+            for idx, ins in enumerate(block.instructions):
+                yield (block.bid, idx), ins
+            if block.branch is not None:
+                yield (block.bid, len(block.instructions)), block.branch
+
+    def path_count(self) -> int:
+        """Number of entry→exit paths (finite: the graph is acyclic).
+        The region analyses are exact because they enumerate, per program
+        point, one abstract state per path reaching it."""
+        counts = [0] * len(self.blocks)
+        counts[0] = 1
+        for block in self.blocks[1:]:
+            counts[block.bid] = sum(counts[p] for p in block.preds)
+        return counts[-1]
+
+
+def build_cfg(body: Sequence[Instruction]) -> Cfg:
+    """Lower a thread body to its CFG (see module docstring)."""
+    blocks: List[BasicBlock] = []
+
+    def new_block() -> BasicBlock:
+        block = BasicBlock(bid=len(blocks))
+        blocks.append(block)
+        return block
+
+    def link(src: BasicBlock, dst: BasicBlock) -> None:
+        src.succs.append(dst.bid)
+        dst.preds.append(src.bid)
+
+    def lower(instructions: Sequence[Instruction], current: BasicBlock) -> BasicBlock:
+        for ins in instructions:
+            if isinstance(ins, If):
+                current.branch = ins
+                then_entry = new_block()
+                link(current, then_entry)
+                then_exit = lower(ins.then, then_entry)
+                else_entry = new_block()
+                link(current, else_entry)
+                else_exit = lower(ins.orelse, else_entry)
+                join = new_block()
+                link(then_exit, join)
+                link(else_exit, join)
+                current = join
+            else:
+                current.instructions.append(ins)
+        return current
+
+    entry = new_block()
+    lower(tuple(body), entry)
+    return Cfg(blocks)

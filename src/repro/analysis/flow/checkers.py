@@ -1,0 +1,484 @@
+"""Path-sensitive checkers over the dataflow framework.
+
+Four checkers, all reporting through the shared
+:class:`~repro.analysis.findings.Finding` machinery and registered with
+``repro-lint`` via :data:`CHECKERS` /
+:func:`repro.analysis.litmuslint.lint_program`:
+
+* :func:`check_rcu` — RCU read-side discipline: an ``rcu_read_unlock()``
+  reachable at nesting depth 0 (unbalanced on some path), a read-side
+  section still open at thread exit, a grace-period wait
+  (``synchronize_rcu()``) reachable inside a read-side section (the
+  self-deadlock the paper's Section 6 axioms make formal), and
+  over-nested sections;
+* :func:`check_locks` — spinlock discipline over the paper's Section 7
+  ``Rmw``/``CmpXchg`` encoding: double-lock self-deadlock,
+  unlock-without-lock (legitimate for cross-thread hand-offs, hence a
+  warning), lock held at thread exit;
+* :func:`check_dependencies` — *fragile* syntactic dependencies: an
+  address/data/control dependency whose expression a compiler may legally
+  evaluate to a constant (``r ^ r``, ``r - r``, ``r * 0``, ``r & 0``,
+  reflexive comparisons — also through constant-propagated locals), so
+  the ordering the LKMM derives from it does not survive compilation
+  (cf. "Bridging the Gap between Programming Languages and Hardware Weak
+  Memory Models");
+* :func:`check_dataflow` — the precise replacements for the old
+  single-pass heuristics: uninitialised shared-location reads, register
+  reads that may precede any assignment on some path, and dead local
+  stores (by liveness).
+
+Soundness note: litmus CFGs are acyclic with finitely many paths, so the
+region analysis tracks the *exact* set of (rcu-depth, held-locks) states
+per point — "on some path" findings name a real path, and clean output
+means no path misbehaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.events import Pointer, RCU_LOCK, RCU_UNLOCK, SYNC_RCU
+from repro.litmus.ast import (
+    CmpXchg,
+    Expr,
+    Fence,
+    If,
+    Instruction,
+    Load,
+    LocalAssign,
+    Program,
+    Rmw,
+    Store,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.flow.analyses import (
+    ConstantPropagation,
+    Liveness,
+    ReachingDefinitions,
+    RegionAnalysis,
+    UNINIT,
+    cfg_registers,
+    environment,
+    expr_registers,
+    fold_expr,
+    instruction_uses,
+    lock_acquire_is_blocking,
+    lock_acquire_location,
+    lock_release_location,
+    program_lock_locations,
+    static_location,
+)
+from repro.analysis.flow.cfg import Cfg
+from repro.analysis.flow.dataflow import DataflowResult, solve
+
+#: Deeper nesting than this is reported as ``rcu-over-nesting``.  Nesting
+#: is legal (RCU-MP+nested in the library nests to depth 2, the axioms of
+#: Section 6 match outermost brackets), but depth beyond this in a litmus
+#: test almost always means a missing unlock rather than intent.
+MAX_RCU_NESTING = 2
+
+
+class _ThreadFlow:
+    """All analyses for one thread, computed lazily and shared between
+    checkers so each CFG is solved at most once per analysis."""
+
+    def __init__(self, tid: int, cfg: Cfg, lock_locations: FrozenSet[str],
+                 condition_regs: FrozenSet[str]):
+        self.tid = tid
+        self.cfg = cfg
+        self.lock_locations = lock_locations
+        self.condition_regs = condition_regs
+        self._results: Dict[str, DataflowResult] = {}
+
+    def region(self) -> DataflowResult:
+        if "region" not in self._results:
+            self._results["region"] = solve(
+                self.cfg, RegionAnalysis(self.lock_locations)
+            )
+        return self._results["region"]
+
+    def reaching(self) -> DataflowResult:
+        if "reaching" not in self._results:
+            self._results["reaching"] = solve(
+                self.cfg, ReachingDefinitions(self.cfg)
+            )
+        return self._results["reaching"]
+
+    def liveness(self) -> DataflowResult:
+        if "liveness" not in self._results:
+            self._results["liveness"] = solve(
+                self.cfg, Liveness(self.condition_regs)
+            )
+        return self._results["liveness"]
+
+    def constants(self) -> DataflowResult:
+        if "constants" not in self._results:
+            self._results["constants"] = solve(self.cfg, ConstantPropagation())
+        return self._results["constants"]
+
+
+def _condition_registers_by_thread(program: Program) -> Dict[int, Set[str]]:
+    from repro.analysis.litmuslint import _condition_registers
+
+    by_tid: Dict[int, Set[str]] = {}
+    for tid, reg in _condition_registers(program.condition):
+        by_tid.setdefault(tid, set()).add(reg)
+    return by_tid
+
+
+def _thread_flows(program: Program) -> List[_ThreadFlow]:
+    cfgs = program.cfgs()
+    locks = program_lock_locations(cfgs)
+    condition_regs = _condition_registers_by_thread(program)
+    return [
+        _ThreadFlow(tid, cfg, locks, frozenset(condition_regs.get(tid, ())))
+        for tid, cfg in enumerate(cfgs)
+    ]
+
+
+def lint_program_flow(program: Program) -> List[Finding]:
+    """Run every path-sensitive checker over one program."""
+    flows = _thread_flows(program)
+    findings: List[Finding] = []
+    for checker in CHECKERS:
+        findings.extend(checker(program, flows))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RCU discipline
+# ---------------------------------------------------------------------------
+
+
+def _path_qualifier(bad: int, total: int) -> str:
+    return "every path" if bad == total else "some path"
+
+
+def check_rcu(program: Program, flows: Optional[List[_ThreadFlow]] = None) -> List[Finding]:
+    flows = flows if flows is not None else _thread_flows(program)
+    findings: List[Finding] = []
+    for flow in flows:
+        region = flow.region()
+        for _, ins, states in region.states():
+            if not isinstance(ins, Fence) or not states:
+                continue
+            depths = sorted(d for d, _ in states)
+            if ins.tag == RCU_UNLOCK and 0 in depths:
+                unmatched = sum(1 for d in depths if d == 0)
+                findings.append(Finding.of(
+                    program.name,
+                    "rcu-unbalanced",
+                    f"P{flow.tid}: rcu_read_unlock() without a matching "
+                    f"rcu_read_lock() on {_path_qualifier(unmatched, len(depths))}",
+                    line=ins.lineno,
+                ))
+            elif ins.tag == RCU_LOCK and depths[-1] + 1 > MAX_RCU_NESTING:
+                findings.append(Finding.of(
+                    program.name,
+                    "rcu-over-nesting",
+                    f"P{flow.tid}: rcu_read_lock() nests read-side "
+                    f"sections to depth {depths[-1] + 1} "
+                    f"(> {MAX_RCU_NESTING}) — missing an unlock?",
+                    line=ins.lineno,
+                ))
+            elif ins.tag == SYNC_RCU and depths[-1] > 0:
+                inside = sum(1 for d in depths if d > 0)
+                findings.append(Finding.of(
+                    program.name,
+                    "rcu-sync-in-critical-section",
+                    f"P{flow.tid}: synchronize_rcu() is reachable inside "
+                    f"an RCU read-side section on "
+                    f"{_path_qualifier(inside, len(depths))} — the grace "
+                    "period can never end (self-deadlock)",
+                    line=ins.lineno,
+                ))
+        exit_states = region.at_exit()
+        open_depths = sorted(d for d, _ in exit_states if d > 0)
+        if open_depths:
+            findings.append(Finding.of(
+                program.name,
+                "rcu-unbalanced",
+                f"P{flow.tid}: an RCU read-side section (depth "
+                f"{open_depths[-1]}) is still open at thread exit on "
+                f"{_path_qualifier(len(open_depths), len(exit_states))}",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Lock discipline
+# ---------------------------------------------------------------------------
+
+
+def check_locks(program: Program, flows: Optional[List[_ThreadFlow]] = None) -> List[Finding]:
+    flows = flows if flows is not None else _thread_flows(program)
+    findings: List[Finding] = []
+    for flow in flows:
+        if not flow.lock_locations:
+            continue
+        region = flow.region()
+        for _, ins, states in region.states():
+            if not states:
+                continue
+            acquired = lock_acquire_location(ins)
+            if acquired is not None and lock_acquire_is_blocking(ins):
+                holding = sum(1 for _, held in states if acquired in held)
+                if holding:
+                    findings.append(Finding.of(
+                        program.name,
+                        "double-lock",
+                        f"P{flow.tid}: spin_lock({acquired!r}) while "
+                        f"already holding it on "
+                        f"{_path_qualifier(holding, len(states))} — "
+                        "self-deadlock",
+                        line=ins.lineno,
+                    ))
+            released = lock_release_location(ins, flow.lock_locations)
+            if released is not None:
+                free = sum(1 for _, held in states if released not in held)
+                if free:
+                    findings.append(Finding.of(
+                        program.name,
+                        "unlock-without-lock",
+                        f"P{flow.tid}: spin_unlock({released!r}) without "
+                        f"holding the lock on "
+                        f"{_path_qualifier(free, len(states))} (legitimate "
+                        "only as a cross-thread lock hand-off)",
+                        line=ins.lineno,
+                    ))
+        exit_states = region.at_exit()
+        still_held: Set[str] = set()
+        for _, held in exit_states:
+            still_held |= held
+        for lock in sorted(still_held):
+            holding = sum(1 for _, held in exit_states if lock in held)
+            findings.append(Finding.of(
+                program.name,
+                "lock-held-at-exit",
+                f"P{flow.tid}: lock {lock!r} is still held at thread exit "
+                f"on {_path_qualifier(holding, len(exit_states))}",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Fragile dependencies
+# ---------------------------------------------------------------------------
+
+
+def _tainted_registers(cfg: Cfg) -> FrozenSet[str]:
+    """Registers that may (transitively) carry a read's value — the ones
+    whose use in an address/data/control expression creates a dependency
+    edge in the model (:mod:`repro.executions.thread_sem`)."""
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for _, ins in cfg.instructions():
+            if isinstance(ins, (Load, Rmw, CmpXchg)):
+                if ins.reg not in tainted:
+                    tainted.add(ins.reg)
+                    changed = True
+            elif isinstance(ins, LocalAssign):
+                if ins.reg not in tainted and expr_registers(ins.expr) & tainted:
+                    tainted.add(ins.reg)
+                    changed = True
+    return frozenset(tainted)
+
+
+def _describe_constant(value) -> str:
+    if isinstance(value, Pointer):
+        return f"&{value.loc}"
+    return repr(value)
+
+
+def check_dependencies(
+    program: Program, flows: Optional[List[_ThreadFlow]] = None
+) -> List[Finding]:
+    flows = flows if flows is not None else _thread_flows(program)
+    findings: List[Finding] = []
+    for flow in flows:
+        tainted = _tainted_registers(flow.cfg)
+        constants = flow.constants()
+        for _, ins, state in constants.states():
+            env = environment(state or ())
+            for kind, expr in _dependency_expressions(ins):
+                regs = expr_registers(expr)
+                if isinstance(ins, (Rmw, CmpXchg)):
+                    regs = regs - {ins.reg}  # the RMW's own read, not a dep
+                if not regs & tainted:
+                    if kind == "control" and fold_expr(expr, env) is not None:
+                        value = fold_expr(expr, env)
+                        findings.append(Finding.of(
+                            program.name,
+                            "constant-condition",
+                            f"P{flow.tid}: branch condition {expr!r} is "
+                            f"always {_describe_constant(value)} — one arm "
+                            "is dead code",
+                            line=ins.lineno,
+                        ))
+                    continue
+                value = fold_expr(expr, env)
+                if value is None:
+                    continue
+                if kind == "control":
+                    findings.append(Finding.of(
+                        program.name,
+                        "constant-condition",
+                        f"P{flow.tid}: control dependency through "
+                        f"{expr!r} is fragile — the condition always "
+                        f"evaluates to {_describe_constant(value)}, so a "
+                        "compiler may drop the branch and the ordering "
+                        "with it",
+                        line=ins.lineno,
+                    ))
+                else:
+                    findings.append(Finding.of(
+                        program.name,
+                        "fragile-dependency",
+                        f"P{flow.tid}: {kind} dependency through {expr!r} "
+                        f"is fragile — it always evaluates to "
+                        f"{_describe_constant(value)}, and a compiler may "
+                        "constant-fold the dependency away (the test's "
+                        "verdict would not survive compilation)",
+                        line=ins.lineno,
+                    ))
+    return findings
+
+
+def _dependency_expressions(ins: Instruction) -> List[Tuple[str, Expr]]:
+    """The (kind, expression) pairs of an instruction that give rise to
+    dependency edges: ``address``/``data``/``control``."""
+    if isinstance(ins, Load):
+        return [("address", ins.addr)]
+    if isinstance(ins, Store):
+        return [("address", ins.addr), ("data", ins.value)]
+    if isinstance(ins, Rmw):
+        return [("address", ins.addr), ("data", ins.new_value)]
+    if isinstance(ins, CmpXchg):
+        return [
+            ("address", ins.addr),
+            ("data", ins.expected),
+            ("data", ins.new_value),
+        ]
+    if isinstance(ins, If):
+        return [("control", ins.cond)]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Precise uninit / dead-store lint (replaces the old heuristics)
+# ---------------------------------------------------------------------------
+
+
+def check_dataflow(
+    program: Program, flows: Optional[List[_ThreadFlow]] = None
+) -> List[Finding]:
+    flows = flows if flows is not None else _thread_flows(program)
+    findings: List[Finding] = []
+    findings.extend(_check_uninit_locations(program, flows))
+    for flow in flows:
+        findings.extend(_check_uninit_registers(program, flow))
+        findings.extend(_check_dead_stores(program, flow))
+    return findings
+
+
+def _check_uninit_locations(
+    program: Program, flows: List[_ThreadFlow]
+) -> List[Finding]:
+    """A location that is read but never written by any thread and not
+    initialised: herd silently defaults it to 0, so the test "works"
+    while testing nothing."""
+    reads: Dict[str, Optional[int]] = {}
+    written: Set[str] = set()
+    for flow in flows:
+        for _, ins in flow.cfg.instructions():
+            for is_write, addr in _accesses(ins):
+                loc = static_location(addr)
+                if loc is None:
+                    if is_write:
+                        return []  # a store through a pointer may hit anything
+                    continue
+                if is_write:
+                    written.add(loc)
+                elif loc not in reads:
+                    reads[loc] = ins.lineno
+    findings = []
+    for loc in sorted(set(reads) - written - set(program.init)):
+        findings.append(Finding.of(
+            program.name,
+            "uninitialized-read",
+            f"location {loc!r} is read but never written and not "
+            "initialised (herd defaults it to 0 — is that intended?)",
+            line=reads[loc],
+        ))
+    return findings
+
+
+def _accesses(ins: Instruction) -> List[Tuple[bool, Expr]]:
+    if isinstance(ins, Load):
+        return [(False, ins.addr)]
+    if isinstance(ins, Store):
+        return [(True, ins.addr)]
+    if isinstance(ins, (Rmw, CmpXchg)):
+        return [(False, ins.addr), (True, ins.addr)]
+    return []
+
+
+def _check_uninit_registers(program: Program, flow: _ThreadFlow) -> List[Finding]:
+    reaching = flow.reaching()
+    findings = []
+    reported: Set[Tuple[str, Optional[int]]] = set()
+    for _, ins, state in reaching.states():
+        for reg in sorted(instruction_uses(ins)):
+            if (reg, UNINIT) not in state:
+                continue
+            definite = not any(
+                pair[0] == reg and pair[1] != UNINIT for pair in state
+            )
+            key = (reg, ins.lineno)
+            if key in reported:
+                continue
+            reported.add(key)
+            qualifier = "" if definite else " on some path"
+            findings.append(Finding.of(
+                program.name,
+                "uninit-register-read",
+                f"P{flow.tid}: register {reg!r} may be read before "
+                f"assignment{qualifier}",
+                line=ins.lineno,
+            ))
+    exit_state = reaching.at_exit()
+    for reg in sorted(flow.condition_regs):
+        if (reg, UNINIT) not in exit_state:
+            continue
+        if not any(pair[0] == reg and pair[1] != UNINIT for pair in exit_state):
+            continue  # never assigned at all: condition-unknown-register
+        findings.append(Finding.of(
+            program.name,
+            "uninit-register-read",
+            f"condition reads {flow.tid}:{reg}, which may be unassigned "
+            "at the end of some path",
+        ))
+    return findings
+
+
+def _check_dead_stores(program: Program, flow: _ThreadFlow) -> List[Finding]:
+    liveness = flow.liveness()
+    findings = []
+    for _, ins, live_after in liveness.states():
+        # Loads and RMWs are exempt: their *event* matters even when the
+        # fetched value is ignored (e.g. SB+xchgs discards it).
+        if isinstance(ins, LocalAssign) and ins.reg not in live_after:
+            findings.append(Finding.of(
+                program.name,
+                "dead-store",
+                f"P{flow.tid}: the value assigned to register "
+                f"{ins.reg!r} here is never used",
+                line=ins.lineno,
+            ))
+    return findings
+
+
+#: The checker registry ``repro-lint`` runs (besides the syntactic lint).
+CHECKERS = (check_rcu, check_locks, check_dependencies, check_dataflow)

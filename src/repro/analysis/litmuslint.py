@@ -3,13 +3,6 @@
 These checks catch the silent typos that make a litmus test vacuous or
 misleading without ever failing to parse or run:
 
-* ``uninitialized-read`` — a location that is read but neither listed in
-  the init block nor written by any thread (herd silently defaults it to
-  0, so the test "works" while testing nothing);
-* ``unused-register`` — a register assigned only by event-free local
-  arithmetic and never read afterwards (registers holding the result of a
-  load or RMW are exempt: the *event* matters even if the value is
-  ignored);
 * ``condition-unknown-register`` / ``condition-unknown-thread`` /
   ``condition-unknown-location`` — the final-state condition mentions a
   register, thread, or location the program never defines, so the
@@ -25,8 +18,14 @@ misleading without ever failing to parse or run:
   side of it in its thread, which orders nothing (the RCU markers are
   exempt: an ``rcu_read_lock()`` legitimately opens a thread).
 
-All checks are purely syntactic — no candidate executions are enumerated —
-so linting the whole library is instant.
+:func:`lint_program` also runs the path-sensitive checkers from
+:mod:`repro.analysis.flow.checkers`: RCU discipline, lock discipline,
+fragile dependencies, and the dataflow-precise ``uninitialized-read`` /
+``uninit-register-read`` / ``dead-store`` checks (which replaced the old
+single-pass heuristics here).
+
+No candidate executions are enumerated anywhere — linting the whole
+library is instant.
 """
 
 from __future__ import annotations
@@ -35,8 +34,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.events import PLAIN, Pointer, RB_DEP, MB, RMB, WMB
 from repro.litmus.ast import (
-    Assume,
-    BinOp,
     CmpXchg,
     Const,
     Expr,
@@ -46,11 +43,9 @@ from repro.litmus.ast import (
     Load,
     LocalAssign,
     Program,
-    Reg,
     Rmw,
     RMW_VARIANTS,
     Store,
-    UnOp,
 )
 from repro.litmus.outcomes import (
     And,
@@ -64,15 +59,22 @@ from repro.litmus.outcomes import (
     RegValue,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.flow.checkers import lint_program_flow
 
 #: Fence tags that exist only to order surrounding accesses.
 _ORDERING_FENCES = frozenset({MB, RMB, WMB, RB_DEP})
 
 
 def lint_program(program: Program) -> List[Finding]:
-    """Lint one litmus program; returns the findings (empty if clean)."""
+    """Lint one litmus program; returns the findings (empty if clean).
+
+    Runs the syntactic checks of this module and every path-sensitive
+    checker of :mod:`repro.analysis.flow.checkers`.
+    """
     linter = _ProgramLinter(program)
-    return linter.run()
+    findings = linter.run()
+    findings.extend(lint_program_flow(program))
+    return findings
 
 
 def lint_library(names: Optional[Sequence[str]] = None) -> Dict[str, List[Finding]]:
@@ -105,25 +107,22 @@ class _ProgramLinter:
         self.accesses: Dict[str, List[_Access]] = {}
         self.has_dynamic_store = False
         self.has_dynamic_load = False
-        #: Per thread: registers assigned at all, assigned by events
-        #: (loads/RMWs), and read.
+        #: Per thread: registers assigned anywhere in the thread.
         self.assigned: List[Set[str]] = []
-        self.event_assigned: List[Set[str]] = []
-        self.read: List[Set[str]] = []
 
-    def _report(self, category: str, message: str) -> None:
-        self.findings.append(Finding(self.program.name, category, message))
+    def _report(
+        self, category: str, message: str, line: Optional[int] = None
+    ) -> None:
+        self.findings.append(
+            Finding.of(self.program.name, category, message, line=line)
+        )
 
     def run(self) -> List[Finding]:
         for tid, thread in enumerate(self.program.threads):
             self.assigned.append(set())
-            self.event_assigned.append(set())
-            self.read.append(set())
             self._walk_body(tid, thread.body)
             self._check_fences(tid, thread.body)
         self._check_condition()
-        self._check_uninitialized_reads()
-        self._check_unused_registers()
         self._check_plain_races()
         return self.findings
 
@@ -149,84 +148,26 @@ class _ProgramLinter:
     def _walk_body(self, tid: int, body: Sequence[Instruction]) -> None:
         for ins in body:
             if isinstance(ins, Load):
-                self._use_expr(tid, ins.addr)
                 self._record_access(tid, ins.addr, False, ins.tag)
                 self.assigned[tid].add(ins.reg)
-                self.event_assigned[tid].add(ins.reg)
             elif isinstance(ins, Store):
-                self._use_expr(tid, ins.addr)
-                self._use_expr(tid, ins.value)
                 self._record_access(tid, ins.addr, True, ins.tag)
             elif isinstance(ins, Rmw):
-                self._use_expr(tid, ins.addr)
                 self.assigned[tid].add(ins.reg)
-                self.event_assigned[tid].add(ins.reg)
-                # new_value may mention the destination register (it holds
-                # the value just read); that is a use of the RMW's own
-                # result, not of a prior assignment.
-                self._use_expr(tid, ins.new_value)
                 self._record_access(tid, ins.addr, False, ins.read_tag)
                 self._record_access(tid, ins.addr, True, ins.write_tag)
             elif isinstance(ins, CmpXchg):
-                self._use_expr(tid, ins.addr)
-                self._use_expr(tid, ins.expected)
-                self._use_expr(tid, ins.new_value)
                 self.assigned[tid].add(ins.reg)
-                self.event_assigned[tid].add(ins.reg)
                 read_tag, write_tag, _ = RMW_VARIANTS[ins.variant]
                 self._record_access(tid, ins.addr, False, read_tag)
                 self._record_access(tid, ins.addr, True, write_tag)
             elif isinstance(ins, LocalAssign):
-                self._use_expr(tid, ins.expr)
                 self.assigned[tid].add(ins.reg)
             elif isinstance(ins, If):
-                self._use_expr(tid, ins.cond)
                 self._walk_body(tid, ins.then)
                 self._walk_body(tid, ins.orelse)
-            elif isinstance(ins, Assume):
-                self._use_expr(tid, ins.cond)
-
-    def _use_expr(self, tid: int, expr: Expr) -> None:
-        if isinstance(expr, Reg):
-            self.read[tid].add(expr.name)
-        elif isinstance(expr, BinOp):
-            self._use_expr(tid, expr.lhs)
-            self._use_expr(tid, expr.rhs)
-        elif isinstance(expr, UnOp):
-            self._use_expr(tid, expr.operand)
 
     # -- checks ----------------------------------------------------------
-
-    def _check_uninitialized_reads(self) -> None:
-        if self.has_dynamic_store:
-            return  # a store through a pointer could hit any location
-        for loc, accesses in sorted(self.accesses.items()):
-            if loc in self.program.init:
-                continue
-            if any(a.is_write for a in accesses):
-                continue
-            self._report(
-                "uninitialized-read",
-                f"location {loc!r} is read but never written and not "
-                "initialised (herd defaults it to 0 — is that intended?)",
-            )
-
-    def _check_unused_registers(self) -> None:
-        used_in_condition: Dict[int, Set[str]] = {}
-        for tid, reg in _condition_registers(self.program.condition):
-            used_in_condition.setdefault(tid, set()).add(reg)
-        for tid in range(len(self.assigned)):
-            dead = (
-                self.assigned[tid]
-                - self.event_assigned[tid]  # loads/RMWs are events, exempt
-                - self.read[tid]
-                - used_in_condition.get(tid, set())
-            )
-            for reg in sorted(dead):
-                self._report(
-                    "unused-register",
-                    f"P{tid} assigns register {reg!r} but never uses it",
-                )
 
     def _check_condition(self) -> None:
         condition = self.program.condition
@@ -288,6 +229,7 @@ class _ProgramLinter:
                     "dangling-fence",
                     f"P{tid} has an {ins.tag} fence with no memory access "
                     f"{side} it — it orders nothing",
+                    line=ins.lineno,
                 )
 
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.findings import Finding
 from repro.events import Event, PLAIN
 from repro.executions.candidate import CandidateExecution
 from repro.executions.enumerate import candidate_executions
@@ -128,6 +129,28 @@ class RaceReport:
         if not self.racy:
             return head
         return head + "\n" + self.explanation
+
+    def findings(self) -> List["Finding"]:
+        """The report as zero or one ``data-race`` lint finding, so
+        ``repro-lint --races`` reports and gates races like any other
+        error-severity check."""
+        if not self.racy:
+            return []
+        detail = ""
+        if self.pair is not None:
+            first, second = self.pair
+            detail = (
+                f" (P{first.tid} {first.kind} of {first.loc!r} vs "
+                f"P{second.tid} {second.kind} of {second.loc!r})"
+            )
+        return [
+            Finding.of(
+                self.name,
+                "data-race",
+                f"a consistent execution contains a data race{detail}; "
+                "see `repro-herd --check-races` for the full walk-through",
+            )
+        ]
 
 
 def check_races(

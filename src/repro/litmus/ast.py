@@ -149,9 +149,20 @@ class UnOp(Expr):
 
 
 class Instruction:
-    """Base class for thread instructions."""
+    """Base class for thread instructions.
+
+    Every concrete instruction carries an optional ``lineno`` — the 1-based
+    source line the parser saw it on — excluded from equality and repr so
+    that structurally identical programs compare equal regardless of
+    formatting.  Programs built through the DSL leave it ``None``.
+    """
 
     __slots__ = ()
+
+
+#: The ``lineno`` field shared by all instruction dataclasses.
+def _lineno_field():
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -168,6 +179,7 @@ class Load(Instruction):
     addr: Expr
     tag: str = ONCE
     rb_dep: bool = False
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"{self.reg} = R[{self.tag}](*{self.addr!r})"
@@ -180,6 +192,7 @@ class Store(Instruction):
     addr: Expr
     value: Expr
     tag: str = ONCE
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"W[{self.tag}](*{self.addr!r}, {self.value!r})"
@@ -190,6 +203,7 @@ class Fence(Instruction):
     """A fence primitive: ``smp_mb``, ``smp_wmb``, ``rcu_read_lock``, ..."""
 
     tag: str
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"F[{self.tag}]"
@@ -226,6 +240,7 @@ class Rmw(Instruction):
     new_value: Expr
     variant: str = "xchg"
     require_read_value: Optional[Value] = None
+    lineno: Optional[int] = _lineno_field()
 
     def __post_init__(self) -> None:
         if self.variant not in RMW_VARIANTS:
@@ -264,6 +279,7 @@ class CmpXchg(Instruction):
     expected: Expr
     new_value: Expr
     variant: str = "xchg"
+    lineno: Optional[int] = _lineno_field()
 
     def __post_init__(self) -> None:
         if self.variant not in RMW_VARIANTS:
@@ -288,6 +304,7 @@ class If(Instruction):
     cond: Expr
     then: Tuple[Instruction, ...]
     orelse: Tuple[Instruction, ...] = ()
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"if ({self.cond!r}) {{...{len(self.then)}}} else {{...{len(self.orelse)}}}"
@@ -299,6 +316,7 @@ class LocalAssign(Instruction):
 
     reg: str
     expr: Expr
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"{self.reg} := {self.expr!r}"
@@ -316,6 +334,7 @@ class Assume(Instruction):
     """
 
     cond: Expr
+    lineno: Optional[int] = _lineno_field()
 
     def __repr__(self) -> str:
         return f"assume({self.cond!r})"
@@ -334,6 +353,15 @@ class Thread:
 
     def __len__(self) -> int:
         return len(self.body)
+
+    def cfg(self):
+        """The thread's control-flow graph
+        (:class:`repro.analysis.flow.cfg.Cfg`); ``If`` bodies become basic
+        blocks with branch/join edges.  Imported lazily so the core AST
+        stays dependency-free."""
+        from repro.analysis.flow.cfg import build_cfg
+
+        return build_cfg(self.body)
 
 
 @dataclass(frozen=True)
@@ -361,6 +389,10 @@ class Program:
     @property
     def num_threads(self) -> int:
         return len(self.threads)
+
+    def cfgs(self):
+        """One control-flow graph per thread, in thread order."""
+        return [thread.cfg() for thread in self.threads]
 
     def locations(self) -> List[str]:
         """All shared locations: those in ``init`` plus any statically named

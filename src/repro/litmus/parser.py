@@ -113,26 +113,40 @@ _CMPXCHG_NAMES = {
 _TYPE_WORDS = {"int", "long", "unsigned", "volatile", "atomic_t", "void", "char"}
 
 
-def _tokenize(text: str) -> List[str]:
+def _tokenize(text: str, first_line: int = 1) -> Tuple[List[str], List[int]]:
+    """Tokens plus the 1-based source line each token starts on."""
     tokens: List[str] = []
+    lines: List[int] = []
     pos = 0
+    line = first_line
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
             raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
         pos = match.end()
         if match.lastgroup in ("ws", "comment"):
+            line += match.group().count("\n")
             continue
         tokens.append(match.group())
-    return tokens
+        lines.append(line)
+        line += match.group().count("\n")
+    return tokens, lines
 
 
 class _Tokens:
     """A token cursor with one-token lookahead."""
 
-    def __init__(self, tokens: List[str]):
+    def __init__(self, tokens: List[str], lines: Optional[List[int]] = None):
         self._tokens = tokens
+        self._lines = lines if lines is not None else [1] * len(tokens)
         self._idx = 0
+
+    @property
+    def line(self) -> int:
+        """Source line of the next (unconsumed) token; the last token's
+        line once exhausted."""
+        idx = min(self._idx, len(self._lines) - 1)
+        return self._lines[idx] if self._lines else 1
 
     def peek(self, offset: int = 0) -> Optional[str]:
         idx = self._idx + offset
@@ -169,7 +183,8 @@ def parse_litmus(text: str) -> Program:
             'litmus test must start with a header line such as "C <name>"'
         )
     name = header.group("name")
-    tokens = _Tokens(_tokenize(text[header.end():]))
+    header_lines = text[:header.end()].count("\n")
+    tokens = _Tokens(*_tokenize(text[header.end():], first_line=header_lines + 1))
 
     init: Dict[str, Value] = {}
     if tokens.peek() == "{":
@@ -267,6 +282,16 @@ class _ThreadParser:
         return body
 
     def parse_statement(self) -> List[Instruction]:
+        line = self.tokens.line
+        instructions = self._parse_statement_inner()
+        for instruction in instructions:
+            # Nested instructions (If bodies) were stamped by their own
+            # parse_statement call; only fill in the outermost ones.
+            if instruction.lineno is None:
+                object.__setattr__(instruction, "lineno", line)
+        return instructions
+
+    def _parse_statement_inner(self) -> List[Instruction]:
         tokens = self.tokens
         token = tokens.peek()
         if token is None:

@@ -272,6 +272,13 @@ def lint_main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="race-classify litmus tests on N worker processes",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format: human-readable text (default), a JSON "
+        "findings document, or SARIF 2.1.0 for code-scanning UIs",
+    )
     _add_obs_arguments(parser)
     parser.add_argument(
         "targets",
@@ -281,6 +288,11 @@ def lint_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.analysis.catlint import lint_all_models, lint_cat_path
+    from repro.analysis.findings import (
+        count_errors,
+        findings_to_json,
+        findings_to_sarif,
+    )
     from repro.analysis.litmuslint import lint_library, lint_program
 
     if not args.all_models and not args.library and not args.targets:
@@ -326,22 +338,35 @@ def lint_main(argv: List[str] | None = None) -> int:
                 print(f"repro-lint: {target}: {message}", file=sys.stderr)
                 return 2
 
-        for finding in findings:
-            print(finding.describe())
-
         with obs.span("lint.races"):
-            for report in _race_reports(race_targets, args.jobs):
-                print(report.describe())
-                if report.racy:
-                    racy += 1
+            race_reports = _race_reports(race_targets, args.jobs)
+        for report in race_reports:
+            findings.extend(report.findings())
+            if report.racy:
+                racy += 1
     _emit_observations(args, collector)
 
-    total = len(findings) + racy
-    if total:
-        print(f"{len(findings)} finding(s), {racy} racy test(s)")
-        return 1
-    print("clean")
-    return 0
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif args.format == "sarif":
+        print(findings_to_sarif(findings))
+    else:
+        for finding in findings:
+            print(finding.describe())
+        if args.races:
+            for report in race_reports:
+                print(report.describe())
+        if findings:
+            print(
+                f"{len(findings)} finding(s), "
+                f"{count_errors(findings)} error(s), {racy} racy test(s)"
+            )
+        else:
+            print("clean")
+
+    # Warnings inform; only error-severity findings (data races included,
+    # as RACE001 is an error) gate the exit status.
+    return 1 if count_errors(findings) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

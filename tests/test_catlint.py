@@ -81,6 +81,84 @@ class TestInjectedTypos:
         assert "missing-include" in categories(findings)
 
 
+class TestSortInference:
+    def test_mixed_union_flagged(self):
+        findings = lint_cat_source(
+            '"m"\nlet sw = po | Acquire\nacyclic sw as c\n'
+        )
+        assert "sort-mismatch" in categories(findings)
+        assert "[S]" in findings[0].message
+
+    def test_set_in_sequence_flagged(self):
+        findings = lint_cat_source(
+            '"m"\nlet a = Acquire ; po\nacyclic a as c\n'
+        )
+        assert "sort-mismatch" in categories(findings)
+
+    def test_relation_in_cartesian_flagged(self):
+        findings = lint_cat_source(
+            '"m"\nlet a = po * rf\nacyclic a as c\n'
+        )
+        assert categories(findings).count("sort-mismatch") == 2
+
+    def test_relation_in_set_id_flagged(self):
+        findings = lint_cat_source('"m"\nlet a = [po] ; rf\nacyclic a as c\n')
+        assert "sort-mismatch" in categories(findings)
+
+    def test_fencerel_of_relation_flagged(self):
+        findings = lint_cat_source(
+            '"m"\nlet a = fencerel(po)\nacyclic a as c\n'
+        )
+        assert "sort-mismatch" in categories(findings)
+
+    def test_domain_yields_a_set(self):
+        # domain(rf) is a set: using it in [.] is fine, sequencing it
+        # bare is not.
+        assert lint_cat_source(
+            '"m"\nlet a = [domain(rf)] ; po\nacyclic a as c\n'
+        ) == []
+        findings = lint_cat_source(
+            '"m"\nlet a = domain(rf) ; po\nacyclic a as c\n'
+        )
+        assert "sort-mismatch" in categories(findings)
+
+    def test_sorts_flow_through_bindings(self):
+        findings = lint_cat_source(
+            '"m"\nlet s = Acquire | Release\nlet a = po | s\nacyclic a as c\n'
+        )
+        assert "sort-mismatch" in categories(findings)
+
+    def test_function_params_never_mismatch(self):
+        # A parameter's sort is unknown; inference must not guess.
+        assert lint_cat_source(
+            '"m"\nlet twice(r) = r ; r\nacyclic twice(po) as c\n'
+        ) == []
+
+    def test_proper_set_algebra_is_clean(self):
+        assert lint_cat_source(
+            '"m"\nlet a = ([W & Release] ; po) & (M * M)\nacyclic a as c\n'
+        ) == []
+
+
+class TestEmptyIntersection:
+    def test_disjoint_kinds(self):
+        findings = lint_cat_source('"m"\nlet a = [R & W]\nacyclic a as c\n')
+        assert "empty-intersection" in categories(findings)
+        assert findings[0].severity == "warning"
+
+    def test_disjoint_tags(self):
+        findings = lint_cat_source(
+            '"m"\nlet a = [Acquire & Release]\nacyclic a as c\n'
+        )
+        assert "empty-intersection" in categories(findings)
+
+    def test_compatible_sets_not_flagged(self):
+        # M overlaps both R and W; a tag set may annotate any kind.
+        assert lint_cat_source(
+            '"m"\nlet a = [M & R] ; po ; [W & Release]\nacyclic a as c\n'
+        ) == []
+
+
 class TestScoping:
     def test_let_rec_sees_itself(self):
         findings = lint_cat_source(

@@ -1,0 +1,61 @@
+"""Golden snapshot of lint finding codes over the library and the models.
+
+Freezes which checker fires on which input, by stable code.  If a checker
+legitimately changes behaviour, regenerate and review::
+
+    PYTHONPATH=src python benchmarks/regen_lint_golden.py
+    git diff tests/data/lint_golden.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.catlint import lint_all_models
+from repro.analysis.litmuslint import lint_library
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "lint_golden.json"
+
+
+def current_snapshot():
+    return {
+        "library": {
+            name: sorted(f"{f.code}:{f.category}" for f in findings)
+            for name, findings in lint_library().items()
+        },
+        "models": {
+            name: sorted(f"{f.code}:{f.category}" for f in findings)
+            for name, findings in lint_all_models().items()
+        },
+    }
+
+
+class TestLintGolden:
+    def test_snapshot_matches(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert current_snapshot() == golden, (
+            "lint findings drifted from tests/data/lint_golden.json; if "
+            "intentional, regenerate with "
+            "`PYTHONPATH=src python benchmarks/regen_lint_golden.py` "
+            "and review the diff"
+        )
+
+    def test_snapshot_covers_whole_library(self):
+        from repro.litmus import library
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert sorted(golden["library"]) == library.all_names()
+
+    def test_no_errors_anywhere(self):
+        # The snapshot may contain warnings (the intended lock hand-off),
+        # but never error codes: the tree must stay `repro-lint`-gate
+        # clean.
+        from repro.analysis.findings import CATEGORIES, ERROR
+
+        error_codes = {
+            code for code, severity in CATEGORIES.values() if severity == ERROR
+        }
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for section in golden.values():
+            for name, codes in section.items():
+                fired = {entry.split(":", 1)[0] for entry in codes}
+                assert not fired & error_codes, name
