@@ -1,0 +1,29 @@
+"""Semantic cat-model analysis over a relational IR.
+
+The package compiles the cat AST (:mod:`repro.cat.ast`) to a normalized,
+hash-consed relational IR and builds three things on top of it:
+
+* :mod:`repro.analysis.catir.analyses` — algebraic emptiness and
+  subsumption inference, powering the CAT011–CAT014 findings that
+  ``repro-lint`` reports alongside the surface lint;
+* :mod:`repro.analysis.catir.diff` — structural model-to-model
+  comparison (``repro-lint --diff-models``);
+* :mod:`repro.analysis.catir.plan` — the compiled check plan that
+  :class:`repro.cat.eval.CatModel` executes by default
+  (``REPRO_CHECK_PLAN=0`` restores the statement-walking interpreter).
+
+Module map: :mod:`~repro.analysis.catir.ir` (interned nodes and smart
+constructors), :mod:`~repro.analysis.catir.facts` (ground truths about
+the builtin environment — the single source the surface linter shares),
+:mod:`~repro.analysis.catir.compile` (AST → IR).
+"""
+
+from repro.analysis.catir import facts, ir  # noqa: F401
+from repro.analysis.catir.compile import (  # noqa: F401
+    CatIRError,
+    CompiledCheck,
+    CompiledModel,
+    compile_cat_file,
+    compile_model,
+    compile_source,
+)

@@ -1,0 +1,118 @@
+"""Ground facts about the builtin cat environment.
+
+This module is the single source of truth for what the builtin names
+*denote* — which names are relations vs sets, which event kinds a
+structural set may contain, which relations are contained in ``int`` /
+``ext`` / ``id``, and the domain/range bounds of the base relations.
+Both the surface linter (:mod:`repro.analysis.catlint`, for the CAT010
+empty-intersection check) and the algebraic analyses
+(:mod:`repro.analysis.catir.analyses`) read these tables, so the two
+passes can never disagree about disjointness.
+
+Every entry is justified by the construction of candidate executions in
+:mod:`repro.executions` (see DESIGN.md "Relational IR" for the full
+soundness argument):
+
+* ``po`` relates strictly-ordered events of one thread: contained in
+  ``int``, irreflexive.
+* ``int`` is same-thread, ``ext`` is different-thread: disjoint, and
+  ``ext`` is irreflexive (an event shares its own thread).
+* ``rmw`` links a read to a write of the same thread: in ``int``,
+  irreflexive; its domain is in ``R``, its range in ``W``.
+* ``rf`` goes write-to-read, ``co`` write-to-write, ``loc`` relates
+  memory accesses (fences have no location).
+* ``R``/``W``/``F`` partition events by kind; ``M = R | W``;
+  ``IW`` (initial writes) is contained in ``W``.
+* Every event carries exactly one annotation, so two distinct tag sets
+  share no event.  (No code path assigns ``extra_tags`` today; this is
+  the one heuristic entry, which is why everything built on it is
+  WARNING severity, never an error and never a rewrite.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.cat import TAG_SETS
+
+#: Builtin relations of the evaluation environment (see
+#: :func:`repro.cat.eval.builtin_environment`).
+BUILTIN_RELATIONS = frozenset(
+    {"po", "rf", "co", "addr", "data", "ctrl", "rmw", "loc", "int", "ext",
+     "id", "crit"}
+)
+
+#: Builtin event sets: the structural sets plus one set per annotation.
+BUILTIN_SETS = frozenset({"_", "R", "W", "F", "M", "IW"}) | frozenset(TAG_SETS)
+
+#: Builtin functions.
+BUILTIN_FUNCTIONS = frozenset({"domain", "range", "fencerel"})
+
+#: Event kinds each structural builtin set may contain.  ``R``/``W``/``F``
+#: are pairwise disjoint; annotation sets are not listed (a tag may
+#: annotate any kind).  ``_`` is the universe.
+KIND_SETS: Dict[str, FrozenSet[str]] = {
+    "R": frozenset({"R"}),
+    "W": frozenset({"W"}),
+    "M": frozenset({"R", "W"}),
+    "F": frozenset({"F"}),
+    "IW": frozenset({"W"}),
+    "_": frozenset({"R", "W", "F"}),
+}
+
+#: Attributes of the base relations, as *upper bounds*: ``"int"`` means
+#: contained in ``int`` (same-thread), ``"ext"`` contained in ``ext``,
+#: ``"id"`` contained in the identity, ``"irr"`` irreflexive.
+REL_ATTRS: Dict[str, FrozenSet[str]] = {
+    "po": frozenset({"int", "irr"}),
+    "id": frozenset({"int", "id"}),
+    "int": frozenset({"int"}),
+    "ext": frozenset({"ext", "irr"}),
+    "rmw": frozenset({"int", "irr"}),
+    "crit": frozenset({"int", "irr"}),
+}
+
+#: Domain/range upper bounds of base relations, as builtin set names.
+REL_BOUNDS: Dict[str, Tuple[Optional[str], Optional[str]]] = {
+    "rf": ("W", "R"),
+    "co": ("W", "W"),
+    "rmw": ("R", "W"),
+    "addr": ("R", "M"),
+    "data": ("R", "M"),
+    "ctrl": ("R", None),
+    "loc": ("M", "M"),
+    "crit": ("Rcu-lock", "Rcu-unlock"),
+}
+
+#: Structural containments between base *sets* (sub -> its supersets);
+#: every set is additionally contained in ``_``.
+SET_CONTAIN: Dict[str, FrozenSet[str]] = {
+    "R": frozenset({"M"}),
+    "W": frozenset({"M"}),
+    "IW": frozenset({"W", "M"}),
+}
+
+
+def base_set_kinds(name: str) -> Optional[FrozenSet[str]]:
+    """Upper bound on the event kinds in builtin set ``name`` (None when
+    unknown — tag sets may annotate any kind)."""
+    return KIND_SETS.get(name)
+
+
+def base_set_tags(name: str) -> Optional[FrozenSet[str]]:
+    """The tag(s) of events in builtin set ``name`` (None when unknown)."""
+    tag = TAG_SETS.get(name)
+    return frozenset({tag}) if tag is not None else None
+
+
+def base_sets_disjoint(a: str, b: str) -> Optional[str]:
+    """A human-readable reason why builtin sets ``a`` and ``b`` can share
+    no event, or None when they may overlap.  Deliberately conservative:
+    tag-vs-kind pairs are never claimed disjoint."""
+    ta, tb = base_set_tags(a), base_set_tags(b)
+    if ta is not None and tb is not None and not (ta & tb):
+        return "every event carries exactly one annotation"
+    ka, kb = base_set_kinds(a), base_set_kinds(b)
+    if ka is not None and kb is not None and not (ka & kb):
+        return "reads, writes and fences are disjoint event kinds"
+    return None

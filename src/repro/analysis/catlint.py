@@ -36,7 +36,17 @@ a parsed :class:`~repro.cat.ast.CatFile` without any execution and flags:
   of ``W``) or two distinct annotation sets (every event carries exactly
   one tag, so ``Acquire & Release`` can never hold events).  The check
   never fires through bindings or tag-vs-kind pairs, only on provably
-  empty atoms.
+  empty atoms.  The disjointness facts live in
+  :mod:`repro.analysis.catir.facts`, the same tables the algebraic
+  analyses use, so the surface and semantic passes cannot disagree.
+
+On top of the surface walk, models that *compile* to the relational IR
+(:mod:`repro.analysis.catir`) also get the semantic analyses — CAT011
+(dead check), CAT012 (redundant check), CAT013 (unreachable binding),
+CAT014 (implied acyclicity); see
+:func:`repro.analysis.catir.analyses.analyze_cat_file`.  Any of those
+codes can be silenced with a ``(* lint: allow CAT011 *)`` comment in the
+model source.
 
 The builtin environment is derived from the same tables the evaluator
 uses (:func:`repro.cat.eval.builtin_environment` and
@@ -46,24 +56,17 @@ uses (:func:`repro.cat.eval.builtin_environment` and
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
-from repro.analysis.findings import Finding, describe_findings  # noqa: F401
-from repro.cat import MODELS_DIR, TAG_SETS, parse_cat
-from repro.cat import ast as C
-
-#: Builtin relations of the evaluation environment (see
-#: :func:`repro.cat.eval.builtin_environment`).
-BUILTIN_RELATIONS = frozenset(
-    {"po", "rf", "co", "addr", "data", "ctrl", "rmw", "loc", "int", "ext",
-     "id", "crit"}
+from repro.analysis.catir.facts import (  # noqa: F401  (re-exported API)
+    BUILTIN_FUNCTIONS,
+    BUILTIN_RELATIONS,
+    BUILTIN_SETS,
+    base_sets_disjoint,
 )
-
-#: Builtin event sets: the structural sets plus one set per annotation.
-BUILTIN_SETS = frozenset({"_", "R", "W", "F", "M", "IW"}) | frozenset(TAG_SETS)
-
-#: Builtin functions.
-BUILTIN_FUNCTIONS = frozenset({"domain", "range", "fencerel"})
+from repro.analysis.findings import Finding, describe_findings  # noqa: F401
+from repro.cat import MODELS_DIR, TAG_SETS, parse_cat  # noqa: F401
+from repro.cat import ast as C
 
 BUILTINS = BUILTIN_RELATIONS | BUILTIN_SETS
 
@@ -75,37 +78,54 @@ SET = "set"
 REL = "relation"
 UNKNOWN = "unknown"
 
-#: Event kinds each structural builtin set may contain.  ``R``/``W``/``F``
-#: are pairwise disjoint; annotation sets are not listed here (a tag may
-#: annotate any kind).
-_KIND_SETS = {
-    "R": frozenset({"R"}),
-    "W": frozenset({"W"}),
-    "M": frozenset({"R", "W"}),
-    "F": frozenset({"F"}),
-    "IW": frozenset({"W"}),
-}
-
 
 def lint_cat(
-    cat_file: C.CatFile, source: Optional[str] = None
+    cat_file: C.CatFile,
+    source: Optional[str] = None,
+    suppress: Sequence[str] = (),
 ) -> List[Finding]:
-    """Lint one parsed cat model; returns the findings (empty if clean)."""
+    """Lint one parsed cat model; returns the findings (empty if clean).
+
+    Runs the surface walk below, then the semantic analyses of
+    :mod:`repro.analysis.catir.analyses` when the model compiles.
+    ``suppress`` drops findings by code (from ``(* lint: allow ... *)``
+    comments, which only the source-level entry points can see).
+    """
+    from repro.analysis.catir.analyses import analyze_cat_file
+
     linter = _CatLinter(source or cat_file.name)
     linter.run(cat_file)
-    return linter.finish()
+    findings = linter.finish()
+    findings.extend(
+        analyze_cat_file(cat_file, source=source or cat_file.name)
+    )
+    if suppress:
+        blocked = frozenset(suppress)
+        findings = [f for f in findings if f.code not in blocked]
+    return findings
 
 
 def lint_cat_source(text: str, name: str = "cat-model") -> List[Finding]:
     """Lint cat model source text."""
-    return lint_cat(parse_cat(text, default_name=name), source=name)
+    from repro.analysis.catir.analyses import parse_suppressions
+
+    return lint_cat(
+        parse_cat(text, default_name=name),
+        source=name,
+        suppress=parse_suppressions(text),
+    )
 
 
 def lint_cat_path(path) -> List[Finding]:
     """Lint a cat model file."""
+    from repro.analysis.catir.analyses import parse_suppressions
+
     path = Path(path)
-    cat_file = parse_cat(path.read_text(), default_name=path.stem)
-    return lint_cat(cat_file, source=str(path))
+    text = path.read_text()
+    cat_file = parse_cat(text, default_name=path.stem)
+    return lint_cat(
+        cat_file, source=str(path), suppress=parse_suppressions(text)
+    )
 
 
 def lint_all_models() -> Dict[str, List[Finding]]:
@@ -334,21 +354,13 @@ class _CatLinter:
 
     def _check_empty_intersection(self, expr: C.Inter) -> None:
         """Flag ``a & b`` when both sides are builtin-set atoms that can
-        share no event."""
+        share no event (facts from :mod:`repro.analysis.catir.facts`)."""
         if not isinstance(expr.lhs, C.Id) or not isinstance(expr.rhs, C.Id):
             return
         a, b = expr.lhs.name, expr.rhs.name
-        if a in TAG_SETS and b in TAG_SETS:
-            if TAG_SETS[a] != TAG_SETS[b]:
-                self._report(
-                    "empty-intersection",
-                    f"'{a} & {b}' is empty by construction: every event "
-                    "carries exactly one annotation",
-                )
-        elif a in _KIND_SETS and b in _KIND_SETS:
-            if not _KIND_SETS[a] & _KIND_SETS[b]:
-                self._report(
-                    "empty-intersection",
-                    f"'{a} & {b}' is empty by construction: reads, writes "
-                    "and fences are disjoint event kinds",
-                )
+        reason = base_sets_disjoint(a, b)
+        if reason is not None:
+            self._report(
+                "empty-intersection",
+                f"'{a} & {b}' is empty by construction: {reason}",
+            )

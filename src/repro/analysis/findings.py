@@ -42,6 +42,11 @@ CATEGORIES: Dict[str, Tuple[str, str]] = {
     "missing-include": ("CAT008", ERROR),
     "sort-mismatch": ("CAT009", ERROR),
     "empty-intersection": ("CAT010", WARNING),
+    # semantic cat-model analyses (repro.analysis.catir.analyses)
+    "dead-check": ("CAT011", WARNING),
+    "redundant-check": ("CAT012", WARNING),
+    "unreachable-binding": ("CAT013", WARNING),
+    "implied-acyclicity": ("CAT014", WARNING),
     # syntactic litmus lint (repro.analysis.litmuslint)
     "uninitialized-read": ("LIT001", ERROR),
     "condition-unknown-register": ("LIT002", ERROR),

@@ -155,3 +155,89 @@ class CatFile:
 
     name: str
     statements: Tuple[CatStatement, ...]
+
+
+# -- pretty-printing ----------------------------------------------------------
+
+#: Binding strength of each expression form, mirroring the parser's
+#: loosest-first precedence ladder.  Binary operators are left-associative,
+#: so the right operand is rendered one level tighter.
+_LEVELS = {
+    Union: 0,
+    Seq: 1,
+    Diff: 2,
+    Inter: 3,
+    Cartesian: 4,
+    Compl: 5,
+    Inverse: 6,
+    Opt: 6,
+    Plus: 6,
+    Star: 6,
+}
+
+_BINARY_OPS = {Union: "|", Seq: ";", Diff: "\\", Inter: "&", Cartesian: "*"}
+
+_POSTFIX_OPS = {Inverse: "^-1", Opt: "?", Plus: "+", Star: "*"}
+
+
+def _pretty_expr(expr: CatExpr, min_level: int = 0) -> str:
+    kind = type(expr)
+    if kind is Id:
+        return expr.name
+    if kind is EmptyRel:
+        return "0"
+    if kind is SetId:
+        return f"[{_pretty_expr(expr.operand)}]"
+    if kind is App:
+        args = ", ".join(_pretty_expr(arg) for arg in expr.args)
+        return f"{expr.func}({args})"
+    level = _LEVELS[kind]
+    if kind in _BINARY_OPS:
+        text = (
+            f"{_pretty_expr(expr.lhs, level)} {_BINARY_OPS[kind]} "
+            f"{_pretty_expr(expr.rhs, level + 1)}"
+        )
+    elif kind is Compl:
+        text = f"~{_pretty_expr(expr.operand, level)}"
+    else:
+        text = f"{_pretty_expr(expr.operand, level)}{_POSTFIX_OPS[kind]}"
+    if level < min_level:
+        return f"({text})"
+    return text
+
+
+def _pretty_statement(stmt: CatStatement) -> str:
+    if isinstance(stmt, Let):
+        parts = []
+        for binding in stmt.bindings:
+            params = f"({', '.join(binding.params)})" if binding.params else ""
+            parts.append(
+                f"{binding.name}{params} = {_pretty_expr(binding.expr)}"
+            )
+        rec = "rec " if stmt.recursive else ""
+        return f"let {rec}" + " and ".join(parts)
+    if isinstance(stmt, Check):
+        flag = "flag " if stmt.flag else ""
+        neg = "~" if stmt.negated else ""
+        name = f" as {stmt.name}" if stmt.name is not None else ""
+        return f"{flag}{neg}{stmt.kind} {_pretty_expr(stmt.expr)}{name}"
+    if isinstance(stmt, Include):
+        return f'include "{stmt.path}"'
+    raise TypeError(f"cannot pretty-print {stmt!r}")
+
+
+def pretty(node) -> str:
+    """Render an expression, statement, or whole :class:`CatFile` back to
+    cat source with minimal parenthesization.  ``parse(pretty(x)) == x``
+    for every parseable ``x`` — the property tests in
+    ``tests/test_cat_parser.py`` pin this against the parser's precedence
+    and associativity."""
+    if isinstance(node, CatExpr):
+        return _pretty_expr(node)
+    if isinstance(node, CatStatement):
+        return _pretty_statement(node)
+    if isinstance(node, CatFile):
+        lines = [f'"{node.name}"']
+        lines.extend(_pretty_statement(stmt) for stmt in node.statements)
+        return "\n".join(lines) + "\n"
+    raise TypeError(f"cannot pretty-print {node!r}")

@@ -32,6 +32,7 @@ from repro.cat.parser import CatParseError, parse_cat
 from repro.events import FENCE
 from repro.executions.candidate import CandidateExecution
 from repro.executions.derived import crit_relation
+from repro.kernel import config as _config
 from repro.model import AxiomViolation, Model, ModelResult
 from repro.obs import core as _obs
 from repro.relations import EventSet, Relation
@@ -210,6 +211,63 @@ def _analyse_invariance(statements: Sequence) -> List:
     return result
 
 
+def _coerce_relation(value: Value, context: str) -> Relation:
+    if isinstance(value, Relation):
+        return value
+    if isinstance(value, EventSet):
+        # herd coerces sets to identity relations in relation position.
+        return value.identity()
+    raise CatError(
+        f"{context}: expected a relation, got {type(value).__name__}"
+    )
+
+
+def check_axiom(
+    kind: str, name: str, negated: bool, value: Value
+) -> Optional[AxiomViolation]:
+    """Verdict for one check over an already-evaluated value.
+
+    Shared by the statement-walking interpreter and the compiled check
+    plan (:mod:`repro.analysis.catir.plan`), so the two paths cannot
+    diverge on witness construction or negation handling.  ``empty`` on
+    an event set keeps set semantics (each stray event is its own
+    ``(e, e)`` witness); ``acyclic``/``irreflexive`` coerce a set to its
+    identity relation first, as herd does.
+    """
+    if kind == "empty":
+        if isinstance(value, EventSet):
+            holds = value.is_empty()
+            witness = tuple((e, e) for e in value)
+        else:
+            relation = _coerce_relation(value, "empty")
+            holds = relation.is_empty()
+            witness = tuple(relation.pairs)
+        if negated:
+            holds = not holds
+            witness = ()
+        if holds:
+            return None
+        return AxiomViolation(name, "empty", witness)
+
+    relation = _coerce_relation(value, kind)
+    if kind == "acyclic":
+        cycle = relation.find_cycle()
+        holds = cycle is None
+        witness = tuple(cycle or ())
+    elif kind == "irreflexive":
+        reflexive = [a for a, b in relation.pairs if a == b]
+        holds = not reflexive
+        witness = tuple(reflexive[:1] * 2)
+    else:  # pragma: no cover
+        raise CatError(f"unknown check kind {kind!r}")
+    if negated:
+        holds = not holds
+        witness = ()
+    if holds:
+        return None
+    return AxiomViolation(name, kind, witness)
+
+
 class _Evaluator:
     """Evaluates cat expressions in an environment."""
 
@@ -331,6 +389,19 @@ class CatModel(Model):
         self._token = next(_MODEL_TOKENS)
         self._flat: Optional[List] = None
         self._invariance: Optional[List] = None
+        #: Lazily built compiled check plan (None = unavailable); see
+        #: :meth:`_check_plan`.
+        self._plan = None
+        self._plan_tried = False
+
+    def __getstate__(self):
+        # Plans hold process-global interned IR nodes whose identity-based
+        # sharing must not cross a pickle boundary (parallel shard
+        # workers); each process rebuilds its own plan on first check.
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        state["_plan_tried"] = False
+        return state
 
     @classmethod
     def from_source(cls, source: str, name: Optional[str] = None) -> "CatModel":
@@ -361,6 +432,11 @@ class CatModel(Model):
         return self._flat
 
     def check(self, execution: CandidateExecution) -> ModelResult:
+        if _config.check_plan_enabled():
+            plan = self._check_plan()
+            if plan is not None:
+                violations, flags = plan.run(execution, self.name)
+                return self._result(violations, flags)
         evaluator = _Evaluator(execution)
         env = builtin_environment(execution)
         violations: List[AxiomViolation] = []
@@ -384,6 +460,11 @@ class CatModel(Model):
                     violation = self._check(statement, evaluator, env, index)
                 if violation is not None:
                     (flags if statement.flag else violations).append(violation)
+        return self._result(violations, flags)
+
+    def _result(
+        self, violations: List[AxiomViolation], flags: List[AxiomViolation]
+    ) -> ModelResult:
         if _obs.ENABLED:
             _obs.count(f"cat.{self.name}.checks")
             for violation in violations:
@@ -391,6 +472,24 @@ class CatModel(Model):
         result = ModelResult(allowed=not violations, violations=violations)
         result.flags = flags  # informational, does not affect the verdict
         return result
+
+    def _check_plan(self):
+        """The compiled check plan, or None when the model does not
+        compile.  A compile failure is not an error here: the interpreter
+        evaluates all value bindings eagerly, so its first ``check()``
+        raises the equivalent :class:`CatError` — falling back keeps the
+        two paths observably identical."""
+        if not self._plan_tried:
+            self._plan_tried = True
+            from repro.analysis.catir.compile import compile_statements
+            from repro.analysis.catir.plan import build_plan
+
+            try:
+                compiled = compile_statements(self._flattened(), self.name)
+                self._plan = build_plan(compiled)
+            except CatError:
+                self._plan = None
+        return self._plan
 
     def _bind(
         self,
@@ -489,38 +588,7 @@ class CatModel(Model):
         name: str,
     ) -> Optional[AxiomViolation]:
         value = evaluator.eval(check.expr, env)
-        if check.kind == "empty":
-            if isinstance(value, EventSet):
-                holds = value.is_empty()
-                witness = tuple((e, e) for e in value)
-            else:
-                relation = evaluator._as_relation(value, "empty")
-                holds = relation.is_empty()
-                witness = tuple(relation.pairs)
-            if check.negated:
-                holds = not holds
-                witness = ()
-            if holds:
-                return None
-            return AxiomViolation(name, "empty", witness)
-
-        relation = evaluator._as_relation(value, check.kind)
-        if check.kind == "acyclic":
-            cycle = relation.find_cycle()
-            holds = cycle is None
-            witness = tuple(cycle or ())
-        elif check.kind == "irreflexive":
-            reflexive = [a for a, b in relation.pairs if a == b]
-            holds = not reflexive
-            witness = tuple(reflexive[:1] * 2)
-        else:  # pragma: no cover
-            raise CatError(f"unknown check kind {check.kind!r}")
-        if check.negated:
-            holds = not holds
-            witness = ()
-        if holds:
-            return None
-        return AxiomViolation(name, check.kind, witness)
+        return check_axiom(check.kind, name, check.negated, value)
 
 
 #: Parse caches: the shipped .cat files never change within a process, and

@@ -128,6 +128,23 @@ def parse_cat(text: str, default_name: str = "cat-model") -> CatFile:
     return CatFile(name, tuple(statements))
 
 
+def parse_expr_text(text: str) -> CatExpr:
+    """Parse a single cat expression (no statements).
+
+    Used by the relational-IR round-trip tests: the canonical pretty form
+    of every :class:`repro.analysis.catir.ir.Node` is valid cat syntax
+    and must parse back to an expression that recompiles to the same
+    node.
+    """
+    cursor = _Cursor(_tokenize(text))
+    expr = _parse_expr(cursor)
+    if not cursor.exhausted:
+        raise CatParseError(
+            f"trailing tokens after expression: {cursor.peek()!r}"
+        )
+    return expr
+
+
 def _parse_statement(cursor: _Cursor) -> CatStatement:
     token = cursor.peek()
     if token == "include":

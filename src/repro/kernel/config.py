@@ -15,6 +15,12 @@ benchmark harness):
   against ``acyclic(po-loc | com)``.  ``0`` restores the original
   behaviour (everything recomputed per candidate, complete candidates
   filtered after construction).
+* ``REPRO_CHECK_PLAN`` — ``1`` (default) lets :class:`repro.cat.eval.
+  CatModel` execute checks through the compiled check plan of
+  :mod:`repro.analysis.catir.plan` (shared-subexpression DAG, invariant
+  sub-expressions memoised on the trace skeleton).  ``0`` forces the
+  original statement-walking interpreter.  Models that the plan compiler
+  cannot handle fall back to the interpreter automatically either way.
 
 The environment is re-read on every query (with a last-value parse cache,
 so the hot :class:`~repro.relations.Relation` constructor pays one dict
@@ -44,10 +50,12 @@ _FALSY = ("0", "false", "no", "off")
 #: Programmatic overrides; ``None`` means "defer to the environment".
 _backend_override: Optional[str] = None
 _incremental_override: Optional[bool] = None
+_check_plan_override: Optional[bool] = None
 
 #: Last-raw-value parse caches: (raw env string or None, parsed value).
 _backend_env_cache = ("\0unset", BITSET)
 _incremental_env_cache = ("\0unset", True)
+_check_plan_env_cache = ("\0unset", True)
 
 
 def _env_backend() -> str:
@@ -107,6 +115,29 @@ def set_incremental(enabled: Optional[bool]) -> None:
     _incremental_override = None if enabled is None else bool(enabled)
 
 
+def _env_check_plan() -> bool:
+    global _check_plan_env_cache
+    raw = os.environ.get("REPRO_CHECK_PLAN")
+    cached_raw, cached_value = _check_plan_env_cache
+    if raw == cached_raw:
+        return cached_value
+    value = True if raw is None else raw.strip() not in _FALSY
+    _check_plan_env_cache = (raw, value)
+    return value
+
+
+def check_plan_enabled() -> bool:
+    if _check_plan_override is not None:
+        return _check_plan_override
+    return _env_check_plan()
+
+
+def set_check_plan(enabled: Optional[bool]) -> None:
+    """Set a process-local override; ``None`` defers to the environment."""
+    global _check_plan_override
+    _check_plan_override = None if enabled is None else bool(enabled)
+
+
 @contextmanager
 def use_backend(name: str):
     """Temporarily select a relation backend (for tests and benchmarks)."""
@@ -127,3 +158,14 @@ def use_incremental(enabled: bool):
         yield
     finally:
         set_incremental(previous)
+
+
+@contextmanager
+def use_check_plan(enabled: bool):
+    """Temporarily enable/disable the compiled check plan."""
+    previous = _check_plan_override
+    set_check_plan(enabled)
+    try:
+        yield
+    finally:
+        set_check_plan(previous)

@@ -254,6 +254,19 @@ def lint_main(argv: List[str] | None = None) -> int:
         help="lint every cat model shipped in repro/cat/models/",
     )
     parser.add_argument(
+        "--models",
+        action="store_true",
+        help="compile every bundled cat model to the relational IR and "
+        "print the summary report plus all (surface + semantic) findings",
+    )
+    parser.add_argument(
+        "--diff-models",
+        nargs=2,
+        metavar=("A", "B"),
+        help="structurally compare two bundled cat models (e.g. "
+        "--diff-models lkmm lkmm-core) and print the report",
+    )
+    parser.add_argument(
         "--library",
         action="store_true",
         help="lint every litmus test in the built-in library",
@@ -294,6 +307,24 @@ def lint_main(argv: List[str] | None = None) -> int:
         findings_to_sarif,
     )
     from repro.analysis.litmuslint import lint_library, lint_program
+
+    if args.diff_models:
+        from repro.analysis.catir.diff import diff_models
+        from repro.cat.eval import CatError
+
+        try:
+            diff = diff_models(args.diff_models[0], args.diff_models[1])
+        except CatError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        print(diff.describe(), end="")
+        return 0
+
+    if args.models:
+        from repro.analysis.catir.diff import models_report
+
+        print(models_report())
+        args.all_models = True
 
     if not args.all_models and not args.library and not args.targets:
         args.all_models = True

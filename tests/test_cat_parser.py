@@ -141,3 +141,134 @@ class TestShippedModels:
         assert cat_file.statements
         kinds = {s.kind for s in cat_file.statements if isinstance(s, C.Check)}
         assert kinds  # every model has at least one check
+
+
+class TestPrecedenceRegressions:
+    """Pin the full precedence ladder (loosest first):
+    ``|`` < ``;`` < ``\\`` < ``&`` < cartesian ``*`` < ``~`` < postfix."""
+
+    def test_union_of_seq(self):
+        assert parse_expr("a | b ; c") == C.Union(
+            C.Id("a"), C.Seq(C.Id("b"), C.Id("c"))
+        )
+
+    def test_diff_of_inter(self):
+        assert parse_expr("a \\ b & c") == C.Diff(
+            C.Id("a"), C.Inter(C.Id("b"), C.Id("c"))
+        )
+
+    def test_inter_of_cartesian(self):
+        assert parse_expr("a & b * c") == C.Inter(
+            C.Id("a"), C.Cartesian(C.Id("b"), C.Id("c"))
+        )
+
+    def test_complement_binds_tighter_than_cartesian(self):
+        assert parse_expr("~a * b") == C.Cartesian(
+            C.Compl(C.Id("a")), C.Id("b")
+        )
+
+    def test_complement_of_postfix(self):
+        # ~ wraps the whole postfix chain: ~a+ is ~(a+), not (~a)+.
+        assert parse_expr("~a+") == C.Compl(C.Plus(C.Id("a")))
+        assert parse_expr("(~a)+") == C.Plus(C.Compl(C.Id("a")))
+
+    def test_binary_operators_left_associative(self):
+        for op, node in (
+            ("|", C.Union), (";", C.Seq), ("\\", C.Diff), ("&", C.Inter)
+        ):
+            assert parse_expr(f"a {op} b {op} c") == node(
+                node(C.Id("a"), C.Id("b")), C.Id("c")
+            )
+
+    def test_star_postfix_then_cartesian(self):
+        assert parse_expr("a* * b*") == C.Cartesian(
+            C.Star(C.Id("a")), C.Star(C.Id("b"))
+        )
+
+
+class TestPrettyRoundTrip:
+    """`parse(pretty(ast)) == ast`: the pretty-printer emits minimal
+    parentheses yet always reproduces the exact tree."""
+
+    CASES = [
+        "a | b ; c",
+        "a ; (b | c)",
+        "a \\ b & c",
+        "(a \\ b) & c",
+        "~(a ; b)+",
+        "(~a)+ ; b*",
+        "a* * b*",
+        "[R & W] ; po^-1?",
+        "fencerel(F) | f(a, b)",
+        "0 | po",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_expression_round_trip(self, text):
+        expr = parse_expr(text)
+        assert parse_expr(C.pretty(expr)) == expr
+
+    @pytest.mark.parametrize(
+        "name",
+        ["lkmm", "lkmm-core", "sc", "tso", "power", "armv8", "armv7", "alpha", "c11"],
+    )
+    def test_model_round_trip(self, name):
+        from repro.cat.eval import MODELS_DIR
+
+        cat_file = parse_cat((MODELS_DIR / f"{name}.cat").read_text())
+        assert parse_cat(C.pretty(cat_file)) == cat_file
+
+    def test_statement_round_trip(self):
+        text = (
+            '"M"\n'
+            "let rec a = po | (a ; rf) and b = a ; b\n"
+            "let f(r, s) = r? ; s\n"
+            "flag ~empty po & rf as odd\n"
+            "acyclic po\n"
+            'include "other.cat"\n'
+        )
+        cat_file = parse_cat(text)
+        assert parse_cat(C.pretty(cat_file)) == cat_file
+
+
+def _expression_strategy():
+    from hypothesis import strategies as st
+
+    names = st.sampled_from(["po", "rf", "co", "po-loc", "R", "W", "F"])
+    atoms = st.one_of(st.builds(C.Id, names), st.just(C.EmptyRel()))
+
+    def extend(children):
+        return st.one_of(
+            st.builds(C.Union, children, children),
+            st.builds(C.Inter, children, children),
+            st.builds(C.Diff, children, children),
+            st.builds(C.Seq, children, children),
+            st.builds(C.Cartesian, children, children),
+            st.builds(C.Compl, children),
+            st.builds(C.Inverse, children),
+            st.builds(C.Opt, children),
+            st.builds(C.Plus, children),
+            st.builds(C.Star, children),
+            st.builds(C.SetId, children),
+            st.builds(
+                C.App,
+                st.sampled_from(["f", "g", "fencerel"]),
+                st.tuples(children),
+            ),
+        )
+
+    return st.recursive(atoms, extend, max_leaves=30)
+
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+
+@given(_expression_strategy())
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pretty_round_trip_property(expr):
+    """Any expression tree the AST can represent survives
+    pretty -> tokenize -> parse unchanged."""
+    assert parse_expr(C.pretty(expr)) == expr

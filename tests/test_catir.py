@@ -1,0 +1,448 @@
+"""Tests for the relational IR: normalization, interning, the algebraic
+analyses (emptiness, subsumption), and the CAT011–CAT014 findings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.catir import compile_model, compile_source, ir
+from repro.analysis.catir.analyses import (
+    analyze_cat_file,
+    analyze_compiled,
+    parse_suppressions,
+    prove_empty,
+    subsumes,
+)
+from repro.analysis.catir.compile import CatIRError, compile_expr
+from repro.analysis.catlint import lint_cat_source
+from repro.analysis.findings import findings_to_json, findings_to_sarif
+from repro.cat.parser import parse_expr_text
+
+
+def compiled(text: str) -> ir.Node:
+    """Compile one expression over the builtin environment."""
+    return compile_expr(parse_expr_text(text), {})
+
+
+class TestNormalization:
+    def test_union_with_empty(self):
+        assert compiled("po | 0") is compiled("po")
+
+    def test_union_flattens_and_sorts(self):
+        assert compiled("(rf | po) | co") is compiled("co | (po | rf)")
+
+    def test_union_idempotent(self):
+        assert compiled("po | po") is compiled("po")
+
+    def test_inter_with_empty(self):
+        assert compiled("po & 0").kind == "empty"
+
+    def test_inter_universe_dropped(self):
+        assert compiled("R & _") is compiled("R")
+
+    def test_seq_with_empty(self):
+        assert compiled("po ; 0 ; rf").kind == "empty"
+
+    def test_seq_flattens(self):
+        assert compiled("(po ; rf) ; co") is compiled("po ; (rf ; co)")
+
+    def test_seq_drops_identity(self):
+        assert compiled("id ; po") is compiled("po")
+
+    def test_seq_fuses_restrictions(self):
+        assert compiled("[R] ; [M]") is compiled("[M & R]")
+
+    def test_seq_fusing_disjoint_restrictions_is_empty(self):
+        # Structural: [R];[W] = [R & W] and R & W is... NOT folded to
+        # empty (kind disjointness is heuristic, analyses-only).
+        node = compiled("[R] ; [W]")
+        assert node.kind == "setid"
+
+    def test_diff_self(self):
+        assert compiled("po \\ po").kind == "empty"
+
+    def test_diff_empty_rhs(self):
+        assert compiled("po \\ 0") is compiled("po")
+
+    def test_double_complement(self):
+        assert compiled("~~po") is compiled("po")
+
+    def test_closure_collapses(self):
+        assert compiled("(po+)*") is compiled("po*")
+        assert compiled("(po+)+") is compiled("po+")
+        assert compiled("(po?)+") is compiled("po*")
+        assert compiled("po?*") is compiled("po*")
+
+    def test_subidentity_closures(self):
+        assert compiled("[R]+") is compiled("[R]")
+        assert compiled("[R]*") is compiled("id")
+        assert compiled("0*") is compiled("id")
+
+    def test_inverse_folds(self):
+        assert compiled("po^-1^-1") is compiled("po")
+        assert compiled("loc^-1") is compiled("loc")
+        assert compiled("[R]^-1") is compiled("[R]")
+
+    def test_setid_of_universe(self):
+        assert compiled("[_]") is compiled("id")
+
+    def test_domain_range(self):
+        assert compiled("domain([R])") is compiled("R")
+        assert compiled("range(0)").kind == "empty"
+        assert compiled("domain(id)") is compiled("_")
+
+    def test_set_in_relation_position_is_coerced(self):
+        node = compiled("R | po")
+        assert node.sort == ir.REL
+        assert compiled("R | po") is compiled("[R] | po")
+
+
+class TestPrettyRoundTrip:
+    """pstr is valid cat syntax and recompiles to the same node."""
+
+    CASES = [
+        "po | rf ; co",
+        "(po | rf) ; co",
+        "po \\ rf & co",
+        "(po \\ rf) & co",
+        "R * W & po",
+        "~(R * W)",
+        "[Acquire] ; po ; [Release]",
+        "fencerel(Mb) | po ; [Release]",
+        "(rf | po)+ ; co?",
+        "rf^-1 ; co & ext",
+        "domain(rf) * range(co)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        node = compiled(text)
+        assert compile_expr(parse_expr_text(node.pstr), {}) is node
+
+    @pytest.mark.parametrize("name", [
+        "lkmm", "lkmm-core", "c11", "tso", "sc", "power", "armv7",
+        "armv8", "alpha",
+    ])
+    def test_round_trip_bundled_model(self, name):
+        model = compile_model(name)
+        env = dict(model.definitions)
+        for dname, node in model.definitions.items():
+            if node.kind == "rec":
+                continue  # rec names only mean something inside the group
+            reparsed = compile_expr(parse_expr_text(node.pstr), env)
+            assert reparsed is node, f"{name}:{dname}"
+        for check in model.checks:
+            if check.root.rec_ids:
+                continue
+            reparsed = compile_expr(parse_expr_text(check.root.pstr), env)
+            assert reparsed is check.root, f"{name}:{check.label}"
+
+
+class TestCompileErrors:
+    def test_unbound_identifier(self):
+        with pytest.raises(CatIRError, match="unbound identifier"):
+            compiled("nonesuch")
+
+    def test_function_as_value(self):
+        with pytest.raises(CatIRError, match="used as a plain value"):
+            compile_source("let f(x) = x\nlet y = f | po")
+
+    def test_cartesian_of_relation(self):
+        with pytest.raises(CatIRError, match="expected an event set"):
+            compiled("po * rf")
+
+    def test_recursive_function(self):
+        # Lexical capture excludes the function itself, exactly as the
+        # evaluator's CatFunction does: self-application is unbound.
+        with pytest.raises(CatIRError, match="unknown function"):
+            compile_source("let f(x) = f(x)\nlet y = f(po)")
+
+    def test_function_inlining(self):
+        model = compile_source(
+            "let f(r) = rf? ; r\nlet a = f(po)\nlet b = rf? ; po"
+        )
+        assert model.definitions["a"] is model.definitions["b"]
+
+
+class TestProveEmpty:
+    def test_disjoint_kind_sets(self):
+        assert prove_empty(compiled("R & W"))
+
+    def test_disjoint_tag_sets(self):
+        assert prove_empty(compiled("Acquire & Release"))
+
+    def test_tag_vs_kind_unproven(self):
+        assert prove_empty(compiled("M & Acquire")) is None
+
+    def test_int_ext_disjoint(self):
+        assert prove_empty(compiled("po & ext"))
+
+    def test_id_vs_irreflexive(self):
+        assert prove_empty(compiled("id & po"))
+
+    def test_seq_range_domain_mismatch(self):
+        # rf ends in reads; co starts at writes.
+        assert prove_empty(compiled("rf ; co"))
+
+    def test_seq_through_restrictions(self):
+        assert prove_empty(compiled("[W] ; rf ; [W]"))
+
+    def test_live_seq_unproven(self):
+        assert prove_empty(compiled("rf ; po")) is None
+
+    def test_diff_subsumed(self):
+        assert prove_empty(compiled("po \\ (po | rf)"))
+
+    def test_union_of_empties(self):
+        assert prove_empty(compiled("(R & W) | (rf ; co)"))
+
+    def test_union_with_live_branch(self):
+        assert prove_empty(compiled("(R & W) | po")) is None
+
+    def test_cartesian_of_empty(self):
+        assert prove_empty(compiled("(R & W) * M"))
+
+    def test_recursive_group_of_empties(self):
+        # F(0) = 0, so the least fixpoint is empty.
+        model = compile_source("let rec r = (r ; po) | (R & W) * M")
+        assert prove_empty(model.definitions["r"])
+
+    def test_recursive_group_live(self):
+        model = compile_source("let rec r = (r ; po) | rf")
+        assert prove_empty(model.definitions["r"]) is None
+
+
+class TestSubsumes:
+    def test_reflexive(self):
+        assert subsumes(compiled("po"), compiled("po"))
+
+    def test_union_branch(self):
+        assert subsumes(compiled("po | rf"), compiled("po"))
+
+    def test_union_both_branches(self):
+        assert subsumes(compiled("po | rf | co"), compiled("rf | po"))
+
+    def test_inter_operand(self):
+        assert subsumes(compiled("po"), compiled("po & rf"))
+
+    def test_diff_of_sub(self):
+        assert subsumes(compiled("po"), compiled("po \\ rf"))
+
+    def test_plus_contains_base(self):
+        assert subsumes(compiled("po+"), compiled("po"))
+
+    def test_plus_closed_under_composition(self):
+        assert subsumes(compiled("po+"), compiled("po ; po"))
+
+    def test_plus_monotone(self):
+        assert subsumes(compiled("(po | rf)+"), compiled("po+"))
+
+    def test_star_contains_identity_things(self):
+        assert subsumes(compiled("po*"), compiled("[R]"))
+
+    def test_seq_restriction_dropped(self):
+        assert subsumes(compiled("po"), compiled("[R] ; po ; [W]"))
+
+    def test_base_attr_int(self):
+        assert subsumes(compiled("int"), compiled("po"))
+
+    def test_set_containment(self):
+        assert subsumes(compiled("M"), compiled("R"))
+        assert subsumes(compiled("_"), compiled("IW"))
+
+    def test_cartesian_bounds(self):
+        assert subsumes(compiled("W * R"), compiled("rf"))
+        assert subsumes(compiled("W * M"), compiled("co"))
+
+    def test_not_subsumed(self):
+        assert not subsumes(compiled("po"), compiled("rf"))
+        assert not subsumes(compiled("po+"), compiled("rf ; po"))
+
+
+def findings_for(text: str, suppress=()):
+    model = compile_source(text)
+    found = analyze_compiled(model)
+    if suppress:
+        found = [f for f in found if f.code not in suppress]
+    return found
+
+
+def codes_for(text: str):
+    return [f.code for f in findings_for(text)]
+
+
+class TestDeadCheck:
+    def test_positive_empty_intersection(self):
+        assert "CAT011" in codes_for("empty rf & co as dead")
+
+    def test_positive_acyclic_of_empty(self):
+        assert "CAT011" in codes_for("acyclic rf ; co as dead")
+
+    def test_negative_live_check(self):
+        assert codes_for("acyclic po | rf as live") == []
+
+    def test_negated_check_not_dead(self):
+        # `~empty 0` FAILS on every execution; calling it trivially
+        # satisfied would be exactly wrong.
+        assert codes_for("~empty rf & co as witness") == []
+
+    def test_message_names_the_check(self):
+        (finding,) = findings_for("empty R & W as never")
+        assert "never" in finding.message
+        assert finding.severity == "warning"
+
+
+class TestRedundantCheck:
+    def test_empty_subsumed_by_earlier(self):
+        assert "CAT012" in codes_for(
+            "empty po & loc as wide\n" "empty (po & loc) & rf as narrow"
+        )
+
+    def test_irreflexive_subsumed_by_earlier(self):
+        assert "CAT012" in codes_for(
+            "irreflexive po | rf as wide\n" "irreflexive po as narrow"
+        )
+
+    def test_irreflexive_implied_by_acyclic(self):
+        assert "CAT012" in codes_for(
+            "acyclic po | rf as order\n" "irreflexive po ; rf as inner"
+        )
+
+    def test_negative_distinct_checks(self):
+        assert codes_for(
+            "empty rmw & loc as a\n" "acyclic po | rf as b"
+        ) == []
+
+    def test_order_matters(self):
+        # The wide check comes second: the narrow one is NOT redundant.
+        assert codes_for(
+            "empty (po & loc) & rf as narrow\n" "empty po & loc as wide"
+        ) == []
+
+    def test_flag_checks_are_not_premises(self):
+        assert codes_for(
+            "flag empty po & loc as wide\n"
+            "empty (po & loc) & rf as narrow"
+        ) == []
+
+
+class TestImpliedAcyclicity:
+    def test_positive(self):
+        assert "CAT014" in codes_for(
+            "acyclic po | rf as order\n" "acyclic po as sub"
+        )
+
+    def test_positive_through_seq(self):
+        assert "CAT014" in codes_for(
+            "acyclic po | rf as order\n" "acyclic po ; rf as comp"
+        )
+
+    def test_negative_incomparable(self):
+        assert codes_for(
+            "acyclic po | rf as order\n" "acyclic po | co as other"
+        ) == []
+
+    def test_negative_wrong_direction(self):
+        assert codes_for(
+            "acyclic po as sub\n" "acyclic po | rf as order"
+        ) == []
+
+
+class TestUnreachableBinding:
+    SOURCE = (
+        "let used = po | rf\n"
+        "let island = co ; co\n"
+        "let chain = island & loc\n"
+        "acyclic used as order\n"
+    )
+
+    def test_positive(self):
+        codes = codes_for(self.SOURCE)
+        # island is referenced (by chain) but chain never feeds a check;
+        # chain itself is unused (CAT004's job, not CAT013's).
+        assert codes == ["CAT013"]
+        (finding,) = findings_for(self.SOURCE)
+        assert "island" in finding.message
+
+    def test_negative_all_reachable(self):
+        assert codes_for(
+            "let used = po | rf\nacyclic used as order"
+        ) == []
+
+    def test_unused_binding_is_not_unreachable(self):
+        # A binding referenced by nothing at all is CAT004 territory.
+        assert codes_for(
+            "let lonely = po ; po\nacyclic po as order"
+        ) == []
+
+    def test_lint_reports_both_cat004_and_cat013(self):
+        findings = lint_cat_source(self.SOURCE, name="m")
+        codes = {f.code for f in findings}
+        assert "CAT004" in codes  # chain is never used
+        assert "CAT013" in codes  # island never feeds a check
+
+
+class TestSuppressions:
+    def test_parse(self):
+        text = "(* lint: allow CAT011 *)\nlet a = po\n"
+        assert parse_suppressions(text) == frozenset({"CAT011"})
+
+    def test_parse_multiple(self):
+        text = "(* lint: allow CAT011, CAT012 *)"
+        assert parse_suppressions(text) == frozenset({"CAT011", "CAT012"})
+
+    def test_no_suppressions(self):
+        assert parse_suppressions("let a = po") == frozenset()
+
+    def test_lint_respects_suppression(self):
+        source = "empty R & W as dead\n"
+        assert any(
+            f.code == "CAT011" for f in lint_cat_source(source, name="m")
+        )
+        suppressed = lint_cat_source(
+            "(* lint: allow CAT011, CAT010 *)\n" + source, name="m"
+        )
+        assert not any(
+            f.code in ("CAT010", "CAT011") for f in suppressed
+        )
+
+
+class TestBundledModelsTriage:
+    """Satellite: the nine bundled models are clean under CAT011-014 —
+    no suppression comments are needed (see DESIGN.md)."""
+
+    @pytest.mark.parametrize("name", [
+        "lkmm", "lkmm-core", "c11", "tso", "sc", "power", "armv7",
+        "armv8", "alpha",
+    ])
+    def test_no_semantic_findings(self, name):
+        assert analyze_compiled(compile_model(name)) == []
+
+
+class TestOutputFormats:
+    def test_new_codes_in_json_and_sarif(self):
+        findings = findings_for(
+            "empty R & W as dead\n"
+            "acyclic po | rf as order\n"
+            "acyclic po as sub\n"
+        )
+        codes = {f.code for f in findings}
+        assert {"CAT011", "CAT014"} <= codes
+        doc = json.loads(findings_to_json(findings))
+        assert {f["code"] for f in doc["findings"]} == codes
+        sarif = json.loads(findings_to_sarif(findings))
+        rule_ids = {
+            rule["id"]
+            for rule in sarif["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert codes <= rule_ids
+
+
+class TestAnalyzeCatFile:
+    def test_uncompilable_model_yields_nothing(self):
+        from repro.cat.parser import parse_cat
+
+        cat_file = parse_cat("acyclic nonesuch as broken")
+        assert analyze_cat_file(cat_file) == []

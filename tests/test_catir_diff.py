@@ -1,0 +1,107 @@
+"""Tests for the model-diff analyzer and its CLI surface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.catir.diff import (
+    ModelDiff,
+    bundled_model_names,
+    diff_models,
+    models_report,
+)
+from repro.analysis.catir.compile import compile_model, compile_source
+from repro.tools.cli import lint_main
+
+SNAPSHOT = Path(__file__).parent / "data" / "model_diff_lkmm_core.txt"
+
+REGEN_HINT = (
+    "model-diff snapshot drifted; if intentional, regenerate with "
+    "`PYTHONPATH=src python -c \"from repro.analysis.catir.diff import "
+    "diff_models; open('tests/data/model_diff_lkmm_core.txt','w')."
+    "write(diff_models('lkmm','lkmm-core').describe())\"`"
+)
+
+
+class TestModelDiff:
+    def test_self_diff_is_identical(self):
+        for name in ("lkmm", "c11", "tso"):
+            diff = diff_models(name, name)
+            assert diff.identical, name
+            assert not diff.renamed
+
+    def test_lkmm_vs_core_snapshot(self):
+        assert diff_models("lkmm", "lkmm-core").describe() == \
+            SNAPSHOT.read_text(), REGEN_HINT
+
+    def test_lkmm_vs_core_structure(self):
+        diff = diff_models("lkmm", "lkmm-core")
+        assert "po-loc" in diff.shared
+        changed = {name for name, _, _ in diff.changed}
+        assert "strong-fence" in changed  # RCU grace periods removed
+        assert "rcu-path" in diff.only_left
+        assert "coherence" in diff.shared_checks
+        assert {c.label for c in diff.only_left_checks} == {"rcu"}
+
+    def test_renamed_but_equal(self):
+        # lkmm-core's strong-fence *is* lkmm's mb, under a new name —
+        # found by node identity, not by name or text.
+        diff = diff_models("lkmm", "lkmm-core")
+        assert ("mb", "strong-fence") in diff.renamed
+
+    def test_renamed_equal_on_synthetic_models(self):
+        left = compile_source("let happens = po | rf\nacyclic happens")
+        right = compile_source("let ordered = rf | po\nacyclic ordered")
+        diff = ModelDiff(left, right)
+        assert ("happens", "ordered") in diff.renamed
+
+    def test_every_bundled_pair_diffs(self):
+        names = bundled_model_names()
+        assert len(names) == 9
+        for left in names:
+            for right in names:
+                diff = diff_models(left, right)
+                text = diff.describe()
+                assert text.startswith("model diff:")
+                if left == right:
+                    assert diff.identical
+
+    def test_shared_definitions_deterministic(self):
+        a = diff_models("power", "armv7")
+        b = diff_models("power", "armv7")
+        assert a.describe() == b.describe()
+        assert len(a.shared) >= 15  # the shared hardware skeleton
+
+    def test_models_report_lists_all(self):
+        report = models_report()
+        for name in bundled_model_names():
+            assert f"\n{name}: " in "\n" + report
+
+    def test_compile_model_unknown(self):
+        from repro.cat.eval import CatError
+
+        with pytest.raises(CatError, match="unknown model"):
+            compile_model("nonesuch")
+
+
+class TestCli:
+    def test_diff_models(self, capsys):
+        assert lint_main(["--diff-models", "lkmm", "lkmm-core"]) == 0
+        out = capsys.readouterr().out
+        assert out == SNAPSHOT.read_text(), REGEN_HINT
+
+    def test_diff_models_any_pair(self, capsys):
+        assert lint_main(["--diff-models", "c11", "sc"]) == 0
+        assert "model diff: C11 vs SC" in capsys.readouterr().out
+
+    def test_diff_models_unknown(self, capsys):
+        assert lint_main(["--diff-models", "lkmm", "nonesuch"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_models_report_cli(self, capsys):
+        assert lint_main(["--models"]) == 0
+        out = capsys.readouterr().out
+        assert "bundled cat models" in out
+        assert "lkmm-core" in out

@@ -1,0 +1,189 @@
+"""Check-plan equivalence: the compiled plan of
+:mod:`repro.analysis.catir.plan` must produce verdicts, axiom labels,
+witness shapes, and flags identical to the statement-walking interpreter,
+under both relation backends, with ``REPRO_CHECK_PLAN`` as the opt-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import CatModel, CatError, load_model
+from repro.executions import candidate_executions
+from repro.herd import verdicts
+from repro.kernel import config
+from repro.litmus import library
+
+PROGRAMS = [
+    "MP+wmb+rmb",
+    "SB",
+    "LB+ctrl",
+    "IRIW",
+    "RCU-MP",
+    "SB+unlock-lock",
+]
+
+MODELS = ["lkmm", "lkmm-core", "c11", "tso", "sc", "power", "armv8"]
+
+
+def available_programs():
+    names = set(library.all_names())
+    return [name for name in PROGRAMS if name in names]
+
+
+def result_fingerprint(model, execution):
+    result = model.check(execution)
+    return (
+        result.allowed,
+        [(v.axiom, v.kind, bool(v.witness)) for v in result.violations],
+        [(f.axiom, f.kind) for f in result.flags],
+    )
+
+
+def model_fingerprints(model, program, limit=40):
+    out = []
+    for i, execution in enumerate(candidate_executions(program)):
+        if i >= limit:
+            break
+        out.append(result_fingerprint(model, execution))
+    return out
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_bundled_models_plan_equivalence(model_name):
+    model = load_model(model_name)
+    for prog_name in available_programs():
+        program = library.get(prog_name)
+        with config.use_check_plan(True):
+            with_plan = model_fingerprints(model, program)
+        with config.use_check_plan(False):
+            without = model_fingerprints(model, program)
+        assert with_plan == without, f"{model_name} / {prog_name}"
+
+
+CUSTOM_SOURCES = {
+    "negated": "~empty po as has-order\nacyclic po as po-order",
+    "flagged": "flag empty rf & po as internal-rf\nacyclic po | rf as ord",
+    "set-check": "empty R & W as disjoint\nempty IW & R as init-writes",
+    "recursion": (
+        "let rec path = po | (path ; rf) | (rf ; path)\n"
+        "acyclic path as chained"
+    ),
+    "mutual-recursion": (
+        "let rec a = po | (b ; rf)\nand b = rf | (a ; po)\n"
+        "irreflexive a as no-self\nacyclic b as b-ord"
+    ),
+    "functions": (
+        "let hull(r) = r? ; r ; r?\n"
+        "empty hull(rf) & id as no-rf-loop"
+    ),
+    "complement": "empty po & ~po as excluded-middle",
+    "set-complement": "empty R & ~R as set-middle",
+    "cartesian": "empty rf \\ (W * R) as rf-shape",
+    "fencerel": "empty fencerel(Wmb) & id as fence-irr",
+    "domain-range": (
+        "empty domain(rf) & R as writes-only\n"
+        "empty range(rf) & W as reads-only"
+    ),
+    "inverse": "irreflexive rf^-1 ; co as fr-irr",
+    "unnamed-checks": "acyclic po\nempty rf & id",
+}
+
+
+@pytest.mark.parametrize("label", sorted(CUSTOM_SOURCES))
+def test_custom_model_plan_equivalence(label):
+    program = library.get("MP+wmb+rmb")
+    source = CUSTOM_SOURCES[label]
+    with config.use_check_plan(True):
+        model = CatModel.from_source(source, name=f"plan-{label}")
+        with_plan = model_fingerprints(model, program)
+    with config.use_check_plan(False):
+        model = CatModel.from_source(source, name=f"interp-{label}")
+        without = model_fingerprints(model, program)
+    assert with_plan == without
+
+
+@pytest.mark.parametrize("backend", ["bitset", "frozenset"])
+def test_plan_equivalence_across_backends(backend):
+    program = library.get("SB")
+    model = load_model("lkmm")
+    with config.use_backend(backend):
+        with config.use_check_plan(True):
+            with_plan = model_fingerprints(model, program)
+        with config.use_check_plan(False):
+            without = model_fingerprints(model, program)
+    assert with_plan == without
+
+
+class TestOptOut:
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_PLAN", "0")
+        assert not config.check_plan_enabled()
+        monkeypatch.setenv("REPRO_CHECK_PLAN", "1")
+        assert config.check_plan_enabled()
+        monkeypatch.delenv("REPRO_CHECK_PLAN")
+        assert config.check_plan_enabled()  # default on
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_PLAN", "0")
+        with config.use_check_plan(True):
+            assert config.check_plan_enabled()
+        assert not config.check_plan_enabled()
+
+    def test_interpreter_used_when_disabled(self):
+        model = CatModel.from_source("acyclic po as ok", name="opt-out")
+        program = library.get("SB")
+        execution = next(iter(candidate_executions(program)))
+        with config.use_check_plan(False):
+            assert model.check(execution).allowed
+        # The plan was never built on the disabled path.
+        assert model._plan is None and not model._plan_tried
+
+
+class TestPlanStructure:
+    def test_shared_subexpressions_scheduled_once(self):
+        model = CatModel.from_source(
+            "let a = po | rf\nacyclic a as one\nirreflexive a ; a as two",
+            name="cse",
+        )
+        with config.use_check_plan(True):
+            plan = model._check_plan()
+        assert plan is not None
+        union_nodes = [n for n in plan.schedule if n.kind == "union"]
+        assert len(union_nodes) == 1  # `po | rf` appears once in the DAG
+
+    def test_uncompilable_model_falls_back(self):
+        # The plan cannot compile an unbound name; check() falls back to
+        # the interpreter, which raises the same CatError it always did.
+        model = CatModel.from_source("acyclic nonesuch as broken")
+        program = library.get("SB")
+        execution = next(iter(candidate_executions(program)))
+        with config.use_check_plan(True):
+            with pytest.raises(CatError, match="unbound identifier"):
+                model.check(execution)
+        assert model._plan is None and model._plan_tried
+
+    def test_model_pickles_without_plan(self):
+        import pickle
+
+        model = load_model("tso")
+        program = library.get("SB")
+        execution = next(iter(candidate_executions(program)))
+        with config.use_check_plan(True):
+            before = result_fingerprint(model, execution)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._plan is None and not clone._plan_tried
+        with config.use_check_plan(True):
+            assert result_fingerprint(clone, execution) == before
+
+
+def test_golden_style_verdicts_match():
+    """The headline acceptance shape: library verdict tables computed by
+    both paths coincide (the full 57x4 table runs in the golden suite,
+    which CI exercises with the plan on and off)."""
+    programs = [library.get(name) for name in available_programs()]
+    models = [load_model(name) for name in ("lkmm", "c11", "tso", "sc")]
+    with config.use_check_plan(True):
+        with_plan = verdicts(models, programs)
+    with config.use_check_plan(False):
+        without = verdicts(models, programs)
+    assert with_plan == without
