@@ -269,6 +269,26 @@ class CandidateExecution:
         co-maximal write's value."""
         memory: Dict[str, object] = {}
         co = self.co
+        dense = co._densify()
+        if dense is not None and self.universe <= dense.index.universe:
+            # Bitset fast path: a write is co-maximal iff its co row meets
+            # no other write to the same location.  Same predicate as the
+            # pair-scan below, one mask test per write instead of a scan
+            # over every write pair.
+            pos = dense.index.pos
+            rows = dense.rows
+            loc_writes: Dict[str, int] = {}
+            writes = []
+            for event in self.events:
+                if event.kind == WRITE:
+                    writes.append(event)
+                    bit = 1 << pos[event]
+                    loc_writes[event.loc] = loc_writes.get(event.loc, 0) | bit
+            for event in writes:
+                bit = 1 << pos[event]
+                if not rows[pos[event]] & (loc_writes[event.loc] & ~bit):
+                    memory[event.loc] = event.value
+            return FinalState(dict(self.final_regs), memory)
         for event in self.events:
             if event.kind != WRITE:
                 continue

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.executions.candidate import CandidateExecution
 from repro.executions.enumerate import candidate_executions_sharded
+from repro.kernel import config as _config
 from repro.litmus.ast import Program
 from repro.litmus.outcomes import Exists, Forall, FinalState, NotExists
 from repro.model import Model
@@ -76,6 +77,21 @@ class RunResult:
         )
 
 
+def _decided(result: RunResult) -> bool:
+    """True when no further candidate can change ``result.verdict``.
+
+    Counters only ever grow, so an ``exists``/``~exists`` verdict is
+    final once a witness exists (Allow stays Allow), and a ``forall``
+    verdict is final once some allowed execution misses the condition
+    (``allowed > witnesses`` — Forbid stays Forbid).  The open verdicts
+    (no witness yet; all-matching-so-far) genuinely need the full sweep.
+    """
+    condition = result.program.condition
+    if condition is None or isinstance(condition, (Exists, NotExists)):
+        return result.witnesses > 0
+    return result.allowed > result.witnesses
+
+
 def run_litmus_many(
     models: List[Model],
     program: Program,
@@ -83,6 +99,8 @@ def run_litmus_many(
     keep_states: bool = True,
     shard: int = 0,
     shard_count: int = 1,
+    stop_when_decided: bool = False,
+    verdict_only: bool = False,
 ) -> Dict[str, RunResult]:
     """Run several models over one program with a *single* enumeration.
 
@@ -91,8 +109,24 @@ def run_litmus_many(
     model checks per candidate, not N enumerations.  ``shard``/
     ``shard_count`` restrict the scan to every ``shard_count``-th trace
     combination (the unit :mod:`repro.kernel.parallel` distributes).
+
+    ``stop_when_decided`` ends the candidate sweep as soon as every
+    model's *verdict* is final (see :func:`_decided`); counts and state
+    sets then cover only the scanned prefix, so the flag stays off
+    wherever exact counters matter (``run_litmus``, the sharded parallel
+    path) and is enabled by the verdict-table drivers only.
+
+    ``verdict_only`` additionally skips the model check for candidates
+    that cannot influence the verdict: an ``exists``/``~exists`` verdict
+    is ``witnesses > 0`` and only a condition-matching candidate can
+    become a witness, so non-matching candidates need no model check; a
+    ``forall`` verdict flips to Forbid only on an *allowed non-matching*
+    candidate, so matching candidates need none.  Verdicts are unchanged;
+    ``allowed``/``witnesses``/``states`` then cover only the checked
+    candidates (``candidates`` stays exact).
     """
     condition = program.condition
+    exists_like = condition is None or isinstance(condition, (Exists, NotExists))
     results: List[RunResult] = [
         RunResult(
             program=program,
@@ -115,6 +149,8 @@ def run_litmus_many(
             )
             for model, result in zip(models, results):
                 result.candidates += 1
+                if verdict_only and (matches if not exists_like else not matches):
+                    continue
                 with _obs.span(f"model.{model.name}"):
                     allowed = model.allows(execution)
                 if not allowed:
@@ -128,6 +164,10 @@ def run_litmus_many(
                     result.witnesses += 1
                     if result.witness_execution is None:
                         result.witness_execution = execution
+            if stop_when_decided and all(map(_decided, results)):
+                if _obs.ENABLED:
+                    _obs.count("herd.early_exit")
+                break
     if _obs.ENABLED:
         for result in results:
             _obs.count(f"herd.{result.model_name}.candidates", result.candidates)
@@ -179,7 +219,18 @@ def verdicts(
 
     Each program is enumerated once, for all models together.  ``jobs > 1``
     distributes whole programs over that many worker processes.
+
+    Only verdicts are exposed, so the candidate sweep early-exits once
+    every verdict is final (first witness for ``exists`` tests) and the
+    model check is skipped for candidates that cannot influence the
+    verdict (``verdict_only``) — part of the kernel-v2 batching, hence
+    gated on ``REPRO_KERNEL_VM`` so the opt-out lane reproduces the
+    exhaustive scan.  The defaults are resolved *here*, before the
+    serial/parallel split, keeping both paths (and their observability
+    counters) identical.
     """
+    kwargs.setdefault("stop_when_decided", _config.vm_enabled())
+    kwargs.setdefault("verdict_only", _config.vm_enabled())
     if jobs > 1 and len(programs) > 1:
         from repro.kernel.parallel import verdicts_parallel
 

@@ -39,9 +39,16 @@ def _bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
-def _popcount(mask: int) -> int:
-    # int.bit_count() requires Python 3.10; stay 3.9-compatible.
+def _popcount_fallback(mask: int) -> int:
+    # Pure-Python popcount for Python 3.9, where int.bit_count does not
+    # exist yet.  Benchmarked against the native path in
+    # benchmarks/test_perf_kernel.py (micro-popcount row).
     return bin(mask).count("1")
+
+
+# Native popcount when available (Python >= 3.10); int.bit_count used as
+# an unbound method is the fastest spelling.
+_popcount = getattr(int, "bit_count", _popcount_fallback)
 
 
 class EventIndex:

@@ -21,6 +21,15 @@ benchmark harness):
   sub-expressions memoised on the trace skeleton).  ``0`` forces the
   original statement-walking interpreter.  Models that the plan compiler
   cannot handle fall back to the interpreter automatically either way.
+* ``REPRO_KERNEL_VM`` — ``1`` (default) lowers each check plan to the
+  relational bytecode of :mod:`repro.kernel.vm` and executes candidates
+  through the register VM (trace-invariant registers computed once per
+  skeleton, word-packed bitset values, no per-node memo dictionaries);
+  it also arms the batched drivers (``verdicts`` early-exit, persistent
+  worker pools).  ``0`` restores the demand-driven plan evaluator and
+  the exhaustive drivers exactly as they behaved before the VM existed.
+  The VM needs the ``bitset`` backend; under ``frozenset`` it falls back
+  to the plan evaluator per execution.
 
 The environment is re-read on every query (with a last-value parse cache,
 so the hot :class:`~repro.relations.Relation` constructor pays one dict
@@ -51,11 +60,13 @@ _FALSY = ("0", "false", "no", "off")
 _backend_override: Optional[str] = None
 _incremental_override: Optional[bool] = None
 _check_plan_override: Optional[bool] = None
+_vm_override: Optional[bool] = None
 
 #: Last-raw-value parse caches: (raw env string or None, parsed value).
 _backend_env_cache = ("\0unset", BITSET)
 _incremental_env_cache = ("\0unset", True)
 _check_plan_env_cache = ("\0unset", True)
+_vm_env_cache = ("\0unset", True)
 
 
 def _env_backend() -> str:
@@ -138,6 +149,29 @@ def set_check_plan(enabled: Optional[bool]) -> None:
     _check_plan_override = None if enabled is None else bool(enabled)
 
 
+def _env_vm() -> bool:
+    global _vm_env_cache
+    raw = os.environ.get("REPRO_KERNEL_VM")
+    cached_raw, cached_value = _vm_env_cache
+    if raw == cached_raw:
+        return cached_value
+    value = True if raw is None else raw.strip() not in _FALSY
+    _vm_env_cache = (raw, value)
+    return value
+
+
+def vm_enabled() -> bool:
+    if _vm_override is not None:
+        return _vm_override
+    return _env_vm()
+
+
+def set_vm(enabled: Optional[bool]) -> None:
+    """Set a process-local override; ``None`` defers to the environment."""
+    global _vm_override
+    _vm_override = None if enabled is None else bool(enabled)
+
+
 @contextmanager
 def use_backend(name: str):
     """Temporarily select a relation backend (for tests and benchmarks)."""
@@ -169,3 +203,14 @@ def use_check_plan(enabled: bool):
         yield
     finally:
         set_check_plan(previous)
+
+
+@contextmanager
+def use_vm(enabled: bool):
+    """Temporarily enable/disable the relational bytecode VM."""
+    previous = _vm_override
+    set_vm(enabled)
+    try:
+        yield
+    finally:
+        set_vm(previous)

@@ -31,7 +31,9 @@ Span statistics merge too (per-worker wall time sums); the raw
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.kernel import config as _config
@@ -42,24 +44,83 @@ from repro.obs import core as _obs
 _WORKER_OBSERVING = False
 
 
-def _init_worker(backend: str, incremental: bool, observing: bool) -> None:
+def _init_worker(
+    backend: str,
+    incremental: bool,
+    check_plan: bool,
+    vm: bool,
+    observing: bool,
+) -> None:
     global _WORKER_OBSERVING
     _config.set_backend(backend)
     _config.set_incremental(incremental)
+    _config.set_check_plan(check_plan)
+    _config.set_vm(vm)
     _WORKER_OBSERVING = observing
 
 
+def _pool_config() -> tuple:
+    return (
+        _config.backend(),
+        _config.incremental_enabled(),
+        _config.check_plan_enabled(),
+        _config.vm_enabled(),
+        _obs.enabled(),
+    )
+
+
 def worker_pool(jobs: int):
-    """A pool whose workers replicate this process's backend config."""
+    """A fresh pool whose workers replicate this process's kernel config."""
     return multiprocessing.get_context().Pool(
         processes=jobs,
         initializer=_init_worker,
-        initargs=(
-            _config.backend(),
-            _config.incremental_enabled(),
-            _obs.enabled(),
-        ),
+        initargs=_pool_config(),
     )
+
+
+#: Long-lived pools keyed by (jobs, kernel config): spawning workers and
+#: re-compiling models in them dominates small parallel runs, so pools
+#: persist across run_litmus_many programs — a library sweep pays the
+#: spawn and per-worker model/plan/bytecode compile cost once, not once
+#: per test.  Bounded LRU; a config change (different key) rotates the
+#: stale pool out and terminates it.
+_PERSISTENT_POOLS: "OrderedDict[tuple, Any]" = OrderedDict()
+_PERSISTENT_POOL_LIMIT = 2
+
+
+def persistent_pool(jobs: int):
+    """A shared pool for this (jobs, config) combination.
+
+    Callers must *not* close or terminate it; :func:`shutdown_pools`
+    (registered atexit, and available to tests) reclaims the processes.
+    """
+    key = (jobs,) + _pool_config()
+    pool = _PERSISTENT_POOLS.get(key)
+    if pool is not None:
+        _PERSISTENT_POOLS.move_to_end(key)
+        if _obs.ENABLED:
+            _obs.count("parallel.pool_reuse")
+        return pool
+    if _obs.ENABLED:
+        _obs.count("parallel.pool_spawn")
+    pool = worker_pool(jobs)
+    _PERSISTENT_POOLS[key] = pool
+    while len(_PERSISTENT_POOLS) > _PERSISTENT_POOL_LIMIT:
+        _, stale = _PERSISTENT_POOLS.popitem(last=False)
+        stale.terminate()
+        stale.join()
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate and reap every persistent pool."""
+    while _PERSISTENT_POOLS:
+        _, pool = _PERSISTENT_POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)
 
 
 def run_observed(fn: Callable[[], Any]) -> Tuple[Any, Optional[Dict]]:
@@ -151,8 +212,8 @@ def run_litmus_parallel(
         (model, program, shard, jobs, require_sc_per_location, keep_states)
         for shard in range(jobs)
     ]
-    with _obs.span("parallel.run_litmus"), worker_pool(jobs) as pool:
-        outcomes = pool.map(_run_shard, tasks)
+    with _obs.span("parallel.run_litmus"):
+        outcomes = persistent_pool(jobs).map(_run_shard, tasks)
     return merge_results(_absorb_reports(outcomes))
 
 
@@ -178,7 +239,15 @@ def verdicts_parallel(
     jobs: int,
     **kwargs,
 ) -> Dict[str, Dict[str, str]]:
-    """The :func:`repro.herd.verdicts` table, one program per pool task."""
+    """The :func:`repro.herd.verdicts` table, one program per pool task.
+
+    The early-exit/verdict-only defaults match :func:`repro.herd.verdicts`
+    exactly (for callers that come here directly), so serial and
+    distributed sweeps scan the same candidate prefixes, check the same
+    candidates, and their merged counters agree (``tests/test_obs.py``).
+    """
+    kwargs.setdefault("stop_when_decided", _config.vm_enabled())
+    kwargs.setdefault("verdict_only", _config.vm_enabled())
     jobs = max(1, int(jobs))
     tasks = [(models, program, kwargs) for program in programs]
     if jobs == 1 or len(tasks) <= 1:
@@ -187,8 +256,7 @@ def verdicts_parallel(
         if _obs.ENABLED:
             _obs.gauge("parallel.jobs", jobs)
             _obs.count("parallel.program_batches")
-        with _obs.span("parallel.verdicts"), worker_pool(
-            min(jobs, len(tasks))
-        ) as pool:
+        with _obs.span("parallel.verdicts"):
+            pool = persistent_pool(min(jobs, len(tasks)))
             outcomes = pool.map(_run_program, tasks)
     return dict(_absorb_reports(outcomes))

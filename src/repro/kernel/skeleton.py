@@ -24,11 +24,15 @@ from repro.obs import core as _obs
 class TraceSkeleton:
     """Memo table shared by all rf×co candidates of one trace combination."""
 
-    __slots__ = ("universe", "_memo")
+    __slots__ = ("universe", "_memo", "vm_state")
 
     def __init__(self, universe: frozenset):
         self.universe = universe
         self._memo: Dict[Any, Any] = {}
+        #: program token -> prelude state of :mod:`repro.kernel.vm`: the
+        #: trace-invariant register file (shared by reference with every
+        #: sibling candidate) plus the pre-judged invariant checks.
+        self.vm_state: Dict[int, Any] = {}
 
     def memo(self, key: Any, compute: Callable[[], Any]) -> Any:
         try:

@@ -1,0 +1,516 @@
+"""The relational bytecode VM: batched cross-candidate check execution.
+
+:mod:`repro.analysis.catir.plan` lowers each :class:`CheckPlan` once into
+a :class:`VMProgram` — a flat array of instructions over numbered
+registers — and this module executes it per candidate.  Registers hold
+*raw* bitset values (a relation is a list of ``n`` Python ints, row ``i``
+the successor bitmask of event ``i``; an event set is a single mask), so
+the per-candidate hot loop runs word-parallel integer arithmetic with no
+:class:`~repro.relations.Relation` wrappers, no per-node memo
+dictionaries and no dynamic dispatch beyond one opcode test.
+
+The program is split into two instruction streams:
+
+* the **prelude** computes every trace-invariant node (rf/co-independent,
+  per PR 2's varying-name analysis).  It runs once per
+  :class:`~repro.kernel.skeleton.TraceSkeleton` and its register file is
+  shared *by reference* across all rf×co sibling candidates — sound
+  because no opcode ever mutates an operand row list, so sharing is
+  indistinguishable from recomputation;
+* the **main** stream loads ``rf``/``co`` (zero-copy from the enumerator's
+  dense relations) and computes the witness-dependent nodes into a copy
+  of the prelude register file.
+
+``let rec`` groups become one :data:`FIXPOINT` meta-instruction whose
+per-binding body segments re-run each Gauss–Seidel sweep, mirroring the
+plan evaluator's iteration (bodies in group order, a shared node
+recomputed once per sweep in the segment that first needs it) so the
+fixpoints are value-identical.
+
+Verdicts funnel through :func:`repro.cat.eval.check_axiom` exactly like
+the interpreter and the plan evaluator: the final raw value is wrapped
+back into a :class:`Relation`/:class:`EventSet` only when a check needs a
+witness (the all-clear fast paths answer on the raw rows).
+
+Per-opcode execution counts are published as ``vm.op.<NAME>`` counters
+when an observability collector is installed (``repro-herd --bench``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import FENCE, READ, WRITE
+from repro.kernel.bitrel import DenseRelation, _bits, index_for
+from repro.model import AxiomViolation
+from repro.obs import core as _obs
+from repro.relations import EventSet, Relation
+
+# -- opcodes --------------------------------------------------------------
+
+LOAD_BASE = 0  # dest <- base value named names[a] (env, or rf/co)
+EMPTY_REL = 1  # dest <- all-zero rows
+EMPTY_SET = 2  # dest <- 0
+UNION_REL = 3  # dest <- a | b, row-wise
+UNION_SET = 4  # dest <- a | b
+INTER_REL = 5  # dest <- a & b, row-wise
+INTER_SET = 6  # dest <- a & b
+DIFF_REL = 7  # dest <- a & ~b, row-wise
+DIFF_SET = 8  # dest <- a & ~b
+COMPL_REL = 9  # dest <- full & ~a, row-wise
+COMPL_SET = 10  # dest <- full & ~a
+SEQ = 11  # dest <- a ; b (composition)
+CARTESIAN = 12  # dest <- a * b (set masks -> rows)
+INVERSE = 13  # dest <- a^-1 (transpose)
+OPT = 14  # dest <- a? (a | id)
+PLUS = 15  # dest <- a+ (bitset Floyd-Warshall)
+STAR = 16  # dest <- a* (a+ | id)
+SETID = 17  # dest <- [a] (set mask -> diagonal rows)
+DOMAIN = 18  # dest <- domain(a) (rows -> mask)
+RANGE = 19  # dest <- range(a) (rows -> mask)
+FENCEREL = 20  # dest <- (a restricted-range b) ; (a restricted-domain b)
+FIXPOINT = 21  # a = ((segment instrs, body reg, rec reg), ...)
+
+OPNAMES = {
+    LOAD_BASE: "LOAD_BASE",
+    EMPTY_REL: "EMPTY_REL",
+    EMPTY_SET: "EMPTY_SET",
+    UNION_REL: "UNION_REL",
+    UNION_SET: "UNION_SET",
+    INTER_REL: "INTER_REL",
+    INTER_SET: "INTER_SET",
+    DIFF_REL: "DIFF_REL",
+    DIFF_SET: "DIFF_SET",
+    COMPL_REL: "COMPL_REL",
+    COMPL_SET: "COMPL_SET",
+    SEQ: "SEQ",
+    CARTESIAN: "CARTESIAN",
+    INVERSE: "INVERSE",
+    OPT: "OPT",
+    PLUS: "PLUS",
+    STAR: "STAR",
+    SETID: "SETID",
+    DOMAIN: "DOMAIN",
+    RANGE: "RANGE",
+    FENCEREL: "FENCEREL",
+    FIXPOINT: "FIXPOINT",
+}
+
+
+class Unavailable(Exception):
+    """Raised when a base relation has no dense form over the candidate's
+    canonical event index (frozenset backend, or stranger events); the
+    caller falls back to the plan evaluator for this execution."""
+
+
+#: Cached prelude slot marking "this skeleton cannot run the VM".
+_UNAVAILABLE = object()
+
+
+class VMCheck:
+    """One lowered check: where its value lives and how to judge it."""
+
+    __slots__ = ("kind", "label", "negated", "flag", "reg", "is_set",
+                 "invariant")
+
+    def __init__(self, kind, label, negated, flag, reg, is_set, invariant):
+        self.kind = kind
+        self.label = label
+        self.negated = negated
+        self.flag = flag
+        self.reg = reg
+        self.is_set = is_set
+        #: rf/co-independent: judged once per skeleton, in the prelude.
+        self.invariant = invariant
+
+
+class VMProgram:
+    """One lowered check plan: two instruction streams plus the checks."""
+
+    __slots__ = ("token", "name", "names", "prelude", "main", "checks",
+                 "n_regs")
+
+    def __init__(self, token, name, names, prelude, main, checks, n_regs):
+        #: The owning plan's token (shared-memo / prelude-cache key).
+        self.token = token
+        self.name = name
+        #: Base identifiers referenced by LOAD_BASE, by operand index.
+        self.names: Tuple[str, ...] = names
+        self.prelude: Tuple[tuple, ...] = prelude
+        self.main: Tuple[tuple, ...] = main
+        self.checks: Tuple[VMCheck, ...] = checks
+        self.n_regs = n_regs
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"vm program {self.name}: {self.n_regs} registers"]
+        for title, stream in (("prelude", self.prelude), ("main", self.main)):
+            lines.append(f"{title}:")
+            for instr in stream:
+                lines.append(f"  {OPNAMES[instr[0]]} {instr[1:]}")
+        return "\n".join(lines)
+
+
+# -- base values ----------------------------------------------------------
+
+_REL_ATTRS = {"po": "po", "addr": "addr", "data": "data", "ctrl": "ctrl",
+              "rmw": "rmw", "rf": "rf", "co": "co"}
+
+
+def _dense_rows(relation, index) -> List[int]:
+    """Zero-copy rows of an already-dense relation, validated against the
+    candidate's canonical index."""
+    dense = relation._densify()
+    if dense is None:
+        raise Unavailable
+    if dense.index is not index and dense.index.universe != index.universe:
+        raise Unavailable
+    return dense.rows
+
+
+def base_value(name: str, execution, index):
+    """The raw value (rows or mask) of one builtin base identifier.
+
+    Only the bases a model actually references are computed — unlike the
+    interpreter's eager environment, which builds every tag set per
+    skeleton whether or not the model mentions it.
+    """
+    attr = _REL_ATTRS.get(name)
+    if attr is not None:
+        return _dense_rows(getattr(execution, attr), index)
+    events = index.events
+    n = index.n
+    if name == "_":
+        return index.full_row
+    if name in ("R", "W", "F"):
+        kind = {"R": READ, "W": WRITE, "F": FENCE}[name]
+        mask = 0
+        for i, event in enumerate(events):
+            if event.kind == kind:
+                mask |= 1 << i
+        return mask
+    if name == "M":
+        mask = 0
+        for i, event in enumerate(events):
+            if event.kind == READ or event.kind == WRITE:
+                mask |= 1 << i
+        return mask
+    if name == "IW":
+        mask = 0
+        for i, event in enumerate(events):
+            if event.is_init:
+                mask |= 1 << i
+        return mask
+    if name == "id":
+        return [1 << i for i in range(n)]
+    if name == "loc":
+        groups: Dict[str, int] = {}
+        for i, event in enumerate(events):
+            if event.loc is not None:
+                groups[event.loc] = groups.get(event.loc, 0) | (1 << i)
+        return [
+            groups[event.loc] if event.loc is not None else 0
+            for event in events
+        ]
+    if name in ("int", "ext"):
+        by_tid: Dict[int, int] = {}
+        for i, event in enumerate(events):
+            by_tid[event.tid] = by_tid.get(event.tid, 0) | (1 << i)
+        if name == "int":
+            return [by_tid[event.tid] for event in events]
+        full = index.full_row
+        return [full & ~by_tid[event.tid] for event in events]
+    if name == "crit":
+        from repro.executions.derived import crit_relation
+
+        return _dense_rows(crit_relation(execution), index)
+    from repro.cat.eval import TAG_SETS
+
+    tag = TAG_SETS.get(name)
+    if tag is not None:
+        mask = 0
+        for i, event in enumerate(events):
+            if event.has_tag(tag):
+                mask |= 1 << i
+        return mask
+    raise Unavailable
+
+
+# -- the executor ----------------------------------------------------------
+
+
+def _execute(instrs, regs, execution, names, index, env) -> None:
+    n = index.n
+    full = index.full_row
+    counts = {} if _obs.ENABLED else None
+    for instr in instrs:
+        op = instr[0]
+        if counts is not None:
+            counts[op] = counts.get(op, 0) + 1
+        if op == SEQ:
+            a = regs[instr[2]]
+            b = regs[instr[3]]
+            out = []
+            append = out.append
+            for row in a:
+                acc = 0
+                while row:
+                    low = row & -row
+                    acc |= b[low.bit_length() - 1]
+                    row ^= low
+                append(acc)
+            regs[instr[1]] = out
+        elif op == UNION_REL:
+            regs[instr[1]] = [
+                x | y for x, y in zip(regs[instr[2]], regs[instr[3]])
+            ]
+        elif op == INTER_REL:
+            regs[instr[1]] = [
+                x & y for x, y in zip(regs[instr[2]], regs[instr[3]])
+            ]
+        elif op == DIFF_REL:
+            regs[instr[1]] = [
+                x & ~y for x, y in zip(regs[instr[2]], regs[instr[3]])
+            ]
+        elif op == SETID:
+            mask = regs[instr[2]]
+            out = [0] * n
+            while mask:
+                low = mask & -mask
+                out[low.bit_length() - 1] = low
+                mask ^= low
+            regs[instr[1]] = out
+        elif op == UNION_SET:
+            regs[instr[1]] = regs[instr[2]] | regs[instr[3]]
+        elif op == INTER_SET:
+            regs[instr[1]] = regs[instr[2]] & regs[instr[3]]
+        elif op == DIFF_SET:
+            regs[instr[1]] = regs[instr[2]] & ~regs[instr[3]]
+        elif op == LOAD_BASE:
+            name = names[instr[2]]
+            if env is not None and name in env:
+                regs[instr[1]] = env[name]
+            else:
+                relation = execution.rf if name == "rf" else execution.co
+                regs[instr[1]] = _dense_rows(relation, index)
+        elif op == CARTESIAN:
+            a = regs[instr[2]]
+            b = regs[instr[3]]
+            regs[instr[1]] = [b if a >> i & 1 else 0 for i in range(n)]
+        elif op == INVERSE:
+            out = [0] * n
+            bit = 1
+            for row in regs[instr[2]]:
+                while row:
+                    low = row & -row
+                    out[low.bit_length() - 1] |= bit
+                    row ^= low
+                bit <<= 1
+            regs[instr[1]] = out
+        elif op == OPT:
+            regs[instr[1]] = [
+                row | (1 << i) for i, row in enumerate(regs[instr[2]])
+            ]
+        elif op == PLUS or op == STAR:
+            # Bitset Floyd-Warshall, same sweep order as DenseRelation.
+            rows = list(regs[instr[2]])
+            for k in range(n):
+                if not rows[k]:
+                    continue
+                bit = 1 << k
+                row_k = rows[k]
+                for i in range(n):
+                    if rows[i] & bit:
+                        rows[i] |= row_k
+                        if i == k:
+                            row_k = rows[k]
+            if op == STAR:
+                rows = [row | (1 << i) for i, row in enumerate(rows)]
+            regs[instr[1]] = rows
+        elif op == DOMAIN:
+            mask = 0
+            for i, row in enumerate(regs[instr[2]]):
+                if row:
+                    mask |= 1 << i
+            regs[instr[1]] = mask
+        elif op == RANGE:
+            mask = 0
+            for row in regs[instr[2]]:
+                mask |= row
+            regs[instr[1]] = mask
+        elif op == FENCEREL:
+            po = regs[instr[2]]
+            fences = regs[instr[3]]
+            out = []
+            append = out.append
+            for row in po:
+                mid = row & fences
+                acc = 0
+                while mid:
+                    low = mid & -mid
+                    acc |= po[low.bit_length() - 1]
+                    mid ^= low
+                append(acc)
+            regs[instr[1]] = out
+        elif op == COMPL_REL:
+            regs[instr[1]] = [full & ~row for row in regs[instr[2]]]
+        elif op == COMPL_SET:
+            regs[instr[1]] = full & ~regs[instr[2]]
+        elif op == EMPTY_REL:
+            regs[instr[1]] = [0] * n
+        elif op == EMPTY_SET:
+            regs[instr[1]] = 0
+        elif op == FIXPOINT:
+            segments = instr[2]
+            zero = [0] * n
+            for _seg, _body, rec_reg in segments:
+                regs[rec_reg] = zero
+            changed = True
+            while changed:
+                changed = False
+                for seg, body_reg, rec_reg in segments:
+                    if seg:
+                        _execute(seg, regs, execution, names, index, env)
+                    new = regs[body_reg]
+                    if new != regs[rec_reg]:
+                        regs[rec_reg] = new
+                        changed = True
+        else:  # pragma: no cover - lowering only emits known opcodes
+            raise Unavailable
+    if counts:
+        for op, hits in counts.items():
+            _obs.count(f"vm.op.{OPNAMES[op]}", hits)
+
+
+# -- judging checks --------------------------------------------------------
+
+
+def _judge(check: VMCheck, raw, index, universe):
+    """Verdict for one check over a raw register value.
+
+    The common all-clear cases are answered on the raw rows, and a failed
+    ``acyclic`` check turns its DFS cycle into the violation witness
+    directly (position-for-position what :func:`check_axiom` would
+    extract from the same rows).  Everything else — negated checks,
+    ``empty``/``irreflexive`` violations — is wrapped back into the
+    relation layer and funnelled through :func:`check_axiom`, so those
+    witnesses are constructed by exactly the same code as the
+    interpreter and the plan evaluator.
+    """
+    kind = check.kind
+    if not check.negated:
+        if kind == "empty":
+            if (raw == 0) if check.is_set else not any(raw):
+                return None
+        elif kind == "acyclic":
+            if not check.is_set:
+                positions = DenseRelation(index, raw).find_cycle_positions()
+                if positions is None:
+                    return None
+                # The cycle DFS already ran; building the witness directly
+                # avoids a second DFS through check_axiom.  Same rows, same
+                # deterministic DFS, so the cycle is the one check_axiom
+                # would extract.
+                events = index.events
+                return AxiomViolation(
+                    check.label,
+                    "acyclic",
+                    tuple(events[i] for i in positions),
+                )
+        elif kind == "irreflexive":
+            if not check.is_set:
+                for i, row in enumerate(raw):
+                    if row >> i & 1:
+                        break
+                else:
+                    return None
+    from repro.cat.eval import check_axiom
+
+    if check.is_set:
+        events = index.events
+        value = EventSet((events[i] for i in _bits(raw)), universe)
+    else:
+        value = Relation._from_dense(DenseRelation(index, raw), universe)
+    return check_axiom(kind, check.label, check.negated, value)
+
+
+# -- driving one candidate ---------------------------------------------------
+
+
+def _build_prelude(program: VMProgram, execution, index, model_name):
+    """Run the invariant stream once; judge the invariant checks."""
+    if _obs.ENABLED:
+        _obs.count("vm.prelude_builds")
+    env = {}
+    for name in program.names:
+        if name not in ("rf", "co"):
+            env[name] = base_value(name, execution, index)
+    regs: List = [None] * program.n_regs
+    _execute(program.prelude, regs, execution, program.names, index, env)
+    invariant_violations = {}
+    for position, check in enumerate(program.checks):
+        if not check.invariant:
+            continue
+        if _obs.ENABLED:
+            with _obs.span(f"cat.check.{model_name}.{check.label}"):
+                invariant_violations[position] = _judge(
+                    check, regs[check.reg], index, execution.universe
+                )
+        else:
+            invariant_violations[position] = _judge(
+                check, regs[check.reg], index, execution.universe
+            )
+    return regs, invariant_violations
+
+
+def run_checks(
+    program: VMProgram, execution, model_name: str
+) -> Optional[Tuple[List, List]]:
+    """Execute the program for one candidate.
+
+    Returns ``(violations, flags)`` exactly as ``CheckPlan.run`` would,
+    or ``None`` when this execution has no dense relations (the caller
+    falls back to the plan evaluator).
+    """
+    index = index_for(execution.universe)
+    skeleton = execution._shared
+    if skeleton is None:
+        try:
+            state = _build_prelude(program, execution, index, model_name)
+        except Unavailable:
+            return None
+    else:
+        cache = skeleton.vm_state
+        state = cache.get(program.token)
+        if state is None:
+            try:
+                state = _build_prelude(program, execution, index, model_name)
+            except Unavailable:
+                state = _UNAVAILABLE
+            cache[program.token] = state
+        elif _obs.ENABLED:
+            _obs.count("vm.prelude_hits")
+        if state is _UNAVAILABLE:
+            return None
+    base_regs, invariant_violations = state
+    regs = base_regs.copy()
+    try:
+        _execute(program.main, regs, execution, program.names, index, None)
+    except Unavailable:
+        return None
+    violations: List = []
+    flags: List = []
+    observing = _obs.ENABLED
+    universe = execution.universe
+    for position, check in enumerate(program.checks):
+        if check.invariant:
+            violation = invariant_violations[position]
+        elif observing:
+            with _obs.span(f"cat.check.{model_name}.{check.label}"):
+                violation = _judge(check, regs[check.reg], index, universe)
+        else:
+            violation = _judge(check, regs[check.reg], index, universe)
+        if violation is not None:
+            (flags if check.flag else violations).append(violation)
+    if _obs.ENABLED:
+        _obs.count("vm.runs")
+    return violations, flags

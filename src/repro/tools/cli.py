@@ -62,14 +62,54 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the full observability report (counters, span stats, "
         "raw span trace) as JSON to FILE",
     )
+    parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="print an execution-kernel summary after the run: per-opcode "
+        "bytecode-VM counts, prelude sharing, early exits, pool reuse",
+    )
 
 
 def _observe(args) -> "contextlib.AbstractContextManager":
-    """An ``obs.collect`` context when ``--profile``/``--trace-json`` asks
-    for one, else a no-op context yielding ``None``."""
-    if args.profile or args.trace_json:
+    """An ``obs.collect`` context when ``--profile``/``--trace-json``/
+    ``--bench`` asks for one, else a no-op context yielding ``None``."""
+    if args.profile or args.trace_json or getattr(args, "bench", False):
         return obs.collect(trace=bool(args.trace_json))
     return contextlib.nullcontext()
+
+
+def _format_vm_bench(report) -> str:
+    """The ``--bench`` summary: where the bytecode VM spent its opcodes."""
+    counters = report.counters
+    lines = ["kernel bench:"]
+    ops = sorted(
+        (
+            (name[len("vm.op."):], hits)
+            for name, hits in counters.items()
+            if name.startswith("vm.op.")
+        ),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    if ops:
+        width = max(len(op) for op, _ in ops)
+        for op, hits in ops:
+            lines.append(f"  vm.op.{op.ljust(width)} {hits}")
+    else:
+        lines.append(
+            "  (no bytecode executed: REPRO_KERNEL_VM=0, frozenset "
+            "backend, or the model fell back to the plan evaluator)"
+        )
+    for name in (
+        "vm.runs",
+        "vm.prelude_builds",
+        "vm.prelude_hits",
+        "herd.early_exit",
+        "parallel.pool_spawn",
+        "parallel.pool_reuse",
+    ):
+        if name in counters:
+            lines.append(f"  {name} = {counters[name]}")
+    return "\n".join(lines)
 
 
 def _emit_observations(args, collector: Optional[obs.Collector]) -> None:
@@ -78,6 +118,8 @@ def _emit_observations(args, collector: Optional[obs.Collector]) -> None:
     report = collector.report()
     if args.profile:
         print(report.format_profile())
+    if getattr(args, "bench", False):
+        print(_format_vm_bench(report))
     if args.trace_json:
         Path(args.trace_json).write_text(report.to_json() + "\n")
         print(f"wrote trace to {args.trace_json}")

@@ -38,6 +38,22 @@ class TestHerdCli:
         out = capsys.readouterr().out
         assert out.count("Allow") == 2
 
+    def test_bench_flag_prints_vm_opcode_counts(self, capsys):
+        assert herd_main(["--model", "lkmm", "--bench", "MP+wmb+rmb"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel bench:" in out
+        assert "vm.op.SEQ" in out
+        assert "vm.runs" in out
+
+    def test_bench_flag_reports_vm_off(self, capsys):
+        from repro.kernel import config as kconfig
+
+        with kconfig.use_vm(False):
+            assert herd_main(
+                ["--model", "lkmm", "--bench", "MP+wmb+rmb"]
+            ) == 0
+        assert "no bytecode executed" in capsys.readouterr().out
+
 
 class TestKlitmusCli:
     def test_basic(self, capsys):

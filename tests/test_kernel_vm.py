@@ -1,0 +1,293 @@
+"""The relational bytecode VM (:mod:`repro.kernel.vm`) must be invisible.
+
+Kernel v2 adds three batching layers — the bytecode VM with shared
+trace-invariant registers, the verdict-table early exit / verdict-only
+candidate skipping, and persistent worker pools.  None of them may change
+a single observable result:
+
+* a four-way property test runs random diy-generated litmus tests under
+  the VM, the check-plan interpreter (``REPRO_KERNEL_VM=0``), the
+  statement walker (``REPRO_CHECK_PLAN=0``) and the frozenset reference
+  backend, demanding identical run summaries;
+* the frozen golden verdict table must hold with the VM on *and* off;
+* per-candidate ``ModelResult``s (violations, witnesses included) must be
+  identical between the VM and the plan evaluator;
+* the sweep accelerations (early exit, verdict-only skipping) must keep
+  every verdict while provably scanning less;
+* unit tests pin the lowered program shape, the popcount fallback and
+  persistent-pool reuse.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import ExitStack
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.cat import load_model
+from repro.diy.edges import EDGES
+from repro.diy.generator import CycleError, generate
+from repro.executions.enumerate import candidate_executions
+from repro.herd import run_litmus, run_litmus_many, verdicts
+from repro.kernel import config as kconfig
+from repro.kernel import parallel as kparallel
+from repro.kernel import vm
+from repro.kernel.bitrel import _popcount, _popcount_fallback
+from repro.litmus import library
+from repro.obs import core as obs
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "verdicts_golden.json"
+
+#: The four equivalence lanes: each disables one more layer.
+CONFIGS = {
+    "vm": (kconfig.BITSET, True, True, True),
+    "plan": (kconfig.BITSET, True, True, False),
+    "walker": (kconfig.BITSET, True, False, False),
+    "reference": (kconfig.FROZENSET, False, False, False),
+}
+
+
+def _configured(name: str) -> ExitStack:
+    backend, incremental, check_plan, use_vm = CONFIGS[name]
+    stack = ExitStack()
+    stack.enter_context(kconfig.use_backend(backend))
+    stack.enter_context(kconfig.use_incremental(incremental))
+    stack.enter_context(kconfig.use_check_plan(check_plan))
+    stack.enter_context(kconfig.use_vm(use_vm))
+    return stack
+
+
+def _summary(model, program):
+    result = run_litmus(model, program, require_sc_per_location=True)
+    return (
+        result.verdict,
+        result.candidates,
+        result.allowed,
+        result.witnesses,
+        result.states,
+    )
+
+
+@pytest.fixture(scope="module")
+def lkmm_cat():
+    return load_model("lkmm")
+
+
+# -- lowered program shape -------------------------------------------------
+
+
+def test_lowered_program_streams(lkmm_cat):
+    plan = lkmm_cat._check_plan()
+    program = plan.vm_program()
+    assert program is not None
+    assert program.prelude, "lkmm has trace-invariant structure"
+    assert program.main, "lkmm has rf/co-dependent structure"
+    # The prelude never touches the witness relations; the main stream
+    # loads both.
+    prelude_loads = {
+        program.names[instr[2]]
+        for instr in program.prelude
+        if instr[0] == vm.LOAD_BASE
+    }
+    main_loads = {
+        program.names[instr[2]]
+        for instr in program.main
+        if instr[0] == vm.LOAD_BASE
+    }
+    assert not prelude_loads & {"rf", "co"}
+    assert {"rf", "co"} <= main_loads
+    # lkmm's let-rec rcu group lowers to a fixpoint meta-instruction.
+    assert any(instr[0] == vm.FIXPOINT for instr in program.main)
+    # Checks keep the plan's order and labels.
+    assert [c.label for c in program.checks] == [
+        c.label for c in plan.checks
+    ]
+
+
+def test_program_describe_smoke(lkmm_cat):
+    text = lkmm_cat._check_plan().vm_program().describe()
+    assert "prelude" in text and "main" in text
+
+
+# -- per-candidate equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["MP+wmb+rmb", "WRC+wmb+acq", "IRIW+mbs"])
+def test_vm_model_results_identical(lkmm_cat, name):
+    """Violations — axiom names, kinds *and* witnesses — match the plan
+    evaluator on every candidate, not just the allowed bit."""
+    program = library.get(name)
+    for execution in candidate_executions(program):
+        with _configured("vm"):
+            fast = lkmm_cat.check(execution)
+        with _configured("plan"):
+            reference = lkmm_cat.check(execution)
+        assert fast.allowed == reference.allowed
+        assert fast.violations == reference.violations
+
+
+def test_vm_unavailable_on_frozenset_backend(lkmm_cat):
+    """With frozenset relations there are no dense rows: the VM declines
+    and the plan evaluator answers, identically."""
+    program = library.get("MP+wmb+rmb")
+    with kconfig.use_backend(kconfig.FROZENSET):
+        with kconfig.use_vm(True):
+            vm_on = _summary(lkmm_cat, program)
+        with kconfig.use_vm(False):
+            vm_off = _summary(lkmm_cat, program)
+    assert vm_on == vm_off
+
+
+# -- random litmus tests: four-way equivalence -------------------------------
+
+
+@st.composite
+def edge_cycles(draw):
+    names = sorted(EDGES)
+    length = draw(st.integers(min_value=3, max_value=5))
+    return [draw(st.sampled_from(names)) for _ in range(length)]
+
+
+@given(edge_cycles())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+def test_random_cycles_four_way_equivalence(edges):
+    try:
+        program = generate(edges)
+    except CycleError:
+        assume(False)
+    model = load_model("lkmm")
+    summaries = {}
+    for name in CONFIGS:
+        with _configured(name):
+            summaries[name] = _summary(model, program)
+    assert (
+        summaries["vm"]
+        == summaries["plan"]
+        == summaries["walker"]
+        == summaries["reference"]
+    )
+
+
+# -- golden snapshot under both VM lanes -------------------------------------
+
+
+@pytest.mark.parametrize("vm_lane", [False, True])
+def test_golden_verdicts_both_vm_lanes(vm_lane):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    models = [load_model(name) for name in golden["models"]]
+    programs = [library.get(name) for name in sorted(library.all_names())]
+    with kconfig.use_vm(vm_lane):
+        computed = verdicts(
+            models,
+            programs,
+            require_sc_per_location=golden["require_sc_per_location"],
+        )
+    assert computed == golden["verdicts"]
+
+
+# -- sweep accelerations ------------------------------------------------------
+
+
+def test_early_exit_keeps_verdicts(lkmm_cat):
+    reduced_somewhere = False
+    for name in library.all_names():
+        program = library.get(name)
+        full = run_litmus_many([lkmm_cat], program)[lkmm_cat.name]
+        fast = run_litmus_many(
+            [lkmm_cat], program, stop_when_decided=True
+        )[lkmm_cat.name]
+        assert fast.verdict == full.verdict, name
+        assert fast.candidates <= full.candidates, name
+        if fast.candidates < full.candidates:
+            reduced_somewhere = True
+    assert reduced_somewhere, "early exit never fired across the library"
+
+
+def test_verdict_only_keeps_verdicts(lkmm_cat):
+    for name in library.all_names():
+        program = library.get(name)
+        full = run_litmus_many([lkmm_cat], program)[lkmm_cat.name]
+        fast = run_litmus_many([lkmm_cat], program, verdict_only=True)[lkmm_cat.name]
+        assert fast.verdict == full.verdict, name
+        # Enumeration is untouched; only model checks are skipped.
+        assert fast.candidates == full.candidates, name
+
+
+def test_early_exit_stops_at_first_witness(lkmm_cat):
+    # WRC+wmb+acq is Allow: the scan must stop strictly before the full
+    # candidate count once the witness is found.
+    program = library.get("WRC+wmb+acq")
+    full = run_litmus_many([lkmm_cat], program)[lkmm_cat.name]
+    fast = run_litmus_many(
+        [lkmm_cat], program, stop_when_decided=True
+    )[lkmm_cat.name]
+    assert full.verdict == fast.verdict == "Allow"
+    assert fast.candidates < full.candidates
+
+
+def test_verdicts_gate_on_vm_switch(lkmm_cat):
+    """REPRO_KERNEL_VM=0 restores the exhaustive PR 4 sweep: same
+    verdicts, full candidate scan."""
+    programs = [library.get("MP+wmb+rmb"), library.get("WRC+wmb+acq")]
+    with kconfig.use_vm(True):
+        fast = verdicts([lkmm_cat], programs)
+    with kconfig.use_vm(False):
+        slow = verdicts([lkmm_cat], programs)
+    assert fast == slow
+
+
+# -- observability -------------------------------------------------------------
+
+
+def test_vm_counters_published(lkmm_cat):
+    # 2+2W has one trace skeleton and four rf x co candidates, so the
+    # shared prelude register file must be hit by the three siblings.
+    program = library.get("2+2W")
+    with _configured("vm"), obs.collect() as collector:
+        run_litmus(lkmm_cat, program)
+    counters = collector.counters
+    assert counters.get("vm.runs", 0) > 0
+    assert counters.get("vm.prelude_builds", 0) >= 1
+    assert any(name.startswith("vm.op.") for name in counters)
+    # Siblings of the first candidate reuse the shared prelude registers.
+    assert counters.get("vm.prelude_hits", 0) > 0
+
+
+# -- persistent pools -----------------------------------------------------------
+
+
+def test_persistent_pool_reused_across_sweeps(lkmm_cat):
+    programs = [library.get(name) for name in sorted(library.all_names())[:4]]
+    kparallel.shutdown_pools()
+    try:
+        with obs.collect() as collector:
+            first = verdicts([lkmm_cat], programs, jobs=2)
+            second = verdicts([lkmm_cat], programs, jobs=2)
+        assert first == second
+        assert collector.counters.get("parallel.pool_spawn", 0) == 1
+        assert collector.counters.get("parallel.pool_reuse", 0) >= 1
+    finally:
+        kparallel.shutdown_pools()
+
+
+# -- popcount fallback ------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+@settings(max_examples=200, deadline=None)
+def test_popcount_fallback_matches(mask):
+    assert _popcount_fallback(mask) == _popcount(mask)
+
+
+def test_popcount_prefers_native_when_available():
+    if hasattr(int, "bit_count"):
+        assert _popcount is int.bit_count
+    else:  # pragma: no cover - Python 3.9 only
+        assert _popcount is _popcount_fallback
