@@ -280,5 +280,7 @@ def compile_model(name: str) -> CompiledModel:
     if not path.exists():
         available = sorted(p.stem for p in MODELS_DIR.glob("*.cat"))
         raise CatError(f"unknown model {name!r}; available: {available}")
-    cat_file = parse_cat(path.read_text(), default_name=path.stem)
+    cat_file = parse_cat(
+        path.read_text(), default_name=path.stem, path=str(path)
+    )
     return compile_cat_file(cat_file)

@@ -122,7 +122,7 @@ def lint_cat_path(path) -> List[Finding]:
 
     path = Path(path)
     text = path.read_text()
-    cat_file = parse_cat(text, default_name=path.stem)
+    cat_file = parse_cat(text, default_name=path.stem, path=str(path))
     return lint_cat(
         cat_file, source=str(path), suppress=parse_suppressions(text)
     )
@@ -191,7 +191,9 @@ class _CatLinter:
             return
         # Bindings of the included file become visible here, exactly as in
         # the evaluator; its own findings are reported against its name.
-        included = parse_cat(path.read_text(), default_name=path.stem)
+        included = parse_cat(
+            path.read_text(), default_name=path.stem, path=str(path)
+        )
         self.run(included)
 
     def _let(self, statement: C.Let) -> None:

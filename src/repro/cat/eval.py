@@ -32,6 +32,7 @@ from repro.cat.parser import CatParseError, parse_cat
 from repro.events import FENCE
 from repro.executions.candidate import CandidateExecution
 from repro.executions.derived import crit_relation
+from repro.guard import core as _guard
 from repro.kernel import config as _config
 from repro.model import AxiomViolation, Model, ModelResult
 from repro.obs import core as _obs
@@ -410,7 +411,9 @@ class CatModel(Model):
     @classmethod
     def from_path(cls, path, name: Optional[str] = None) -> "CatModel":
         path = Path(path)
-        cat_file = parse_cat(path.read_text(), default_name=path.stem)
+        cat_file = parse_cat(
+            path.read_text(), default_name=path.stem, path=str(path)
+        )
         return cls(cat_file, name=name)
 
     def _flattened(self) -> List:
@@ -432,6 +435,8 @@ class CatModel(Model):
         return self._flat
 
     def check(self, execution: CandidateExecution) -> ModelResult:
+        if _guard.ACTIVE:
+            _guard._current.tick()  # budget safepoint: one per-candidate model check
         if _config.check_plan_enabled():
             plan = self._check_plan()
             if plan is not None:
@@ -609,7 +614,9 @@ def _load_cat_file(name: str) -> C.CatFile:
             raise CatError(
                 f"included cat file {name!r} not found in {MODELS_DIR}"
             )
-        cached = parse_cat(path.read_text(), default_name=path.stem)
+        cached = parse_cat(
+            path.read_text(), default_name=path.stem, path=str(path)
+        )
         _CAT_FILE_CACHE[name] = cached
     return cached
 

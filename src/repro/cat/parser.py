@@ -11,7 +11,7 @@ expression, and as reflexive-transitive closure otherwise.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, NoReturn, Optional, Tuple
 
 from repro.cat.ast import (
     App,
@@ -39,7 +39,37 @@ from repro.cat.ast import (
 
 
 class CatParseError(Exception):
-    """Raised on malformed cat input."""
+    """Malformed cat input, with source location when known.
+
+    Renders compiler-style — ``path:line:column: message`` — mirroring
+    :class:`repro.litmus.parser.ParseError`.  Locations are 1-based and
+    any part may be absent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        path: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.path = path
+
+    def __str__(self) -> str:
+        parts = []
+        if self.path is not None:
+            parts.append(str(self.path))
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        if not parts:
+            return self.message
+        return f"{':'.join(parts)}: {self.message}"
 
 
 _TOKEN_RE = re.compile(
@@ -59,24 +89,56 @@ _CHECK_KINDS = ("acyclic", "irreflexive", "empty")
 _KEYWORDS = {"let", "rec", "and", "as", "flag", "include"} | set(_CHECK_KINDS)
 
 
-def _tokenize(text: str) -> List[str]:
+def _tokenize(text: str) -> Tuple[List[str], List[Tuple[int, int]]]:
+    """Tokens plus the 1-based (line, column) each token starts at."""
     tokens: List[str] = []
+    positions: List[Tuple[int, int]] = []
     pos = 0
+    line = 1
+    line_start = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise CatParseError(f"unexpected character {text[pos]!r} at {pos}")
+            raise CatParseError(
+                f"unexpected character {text[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        start = pos
         pos = match.end()
-        if match.lastgroup in ("ws", "comment"):
-            continue
-        tokens.append(match.group())
-    return tokens
+        group = match.group()
+        if match.lastgroup not in ("ws", "comment"):
+            tokens.append(group)
+            positions.append((line, start - line_start + 1))
+        newlines = group.count("\n")
+        if newlines:
+            line += newlines
+            line_start = start + group.rfind("\n") + 1
+    return tokens, positions
 
 
 class _Cursor:
-    def __init__(self, tokens: List[str]):
+    def __init__(
+        self,
+        tokens: List[str],
+        positions: Optional[List[Tuple[int, int]]] = None,
+    ):
         self.tokens = tokens
+        self.positions = (
+            positions if positions is not None else [(1, 1)] * len(tokens)
+        )
         self.idx = 0
+
+    def _position(self) -> Tuple[Optional[int], Optional[int]]:
+        if not self.positions:
+            return None, None
+        i = min(self.idx, len(self.positions) - 1)
+        return self.positions[i]
+
+    def fail(self, message: str) -> "NoReturn":
+        """Raise a :class:`CatParseError` located at the cursor."""
+        line, column = self._position()
+        raise CatParseError(message, line=line, column=column)
 
     def peek(self, offset: int = 0) -> Optional[str]:
         i = self.idx + offset
@@ -85,14 +147,17 @@ class _Cursor:
     def next(self) -> str:
         token = self.peek()
         if token is None:
-            raise CatParseError("unexpected end of input")
+            self.fail("unexpected end of input")
         self.idx += 1
         return token
 
     def expect(self, token: str) -> None:
+        if self.peek() is None:
+            self.fail(f"expected {token!r}, got end of input")
         got = self.next()
         if got != token:
-            raise CatParseError(f"expected {token!r}, got {got!r}")
+            self.idx -= 1
+            self.fail(f"expected {token!r}, got {got!r}")
 
     def accept(self, token: str) -> bool:
         if self.peek() == token:
@@ -105,9 +170,33 @@ class _Cursor:
         return self.idx >= len(self.tokens)
 
 
-def parse_cat(text: str, default_name: str = "cat-model") -> CatFile:
-    """Parse a cat model from source text."""
-    cursor = _Cursor(_tokenize(text))
+def parse_cat(
+    text: str,
+    default_name: str = "cat-model",
+    path: Optional[str] = None,
+) -> CatFile:
+    """Parse a cat model from source text.
+
+    ``path``, when given, is attached to any :class:`CatParseError` so
+    the error renders as ``path:line:column: message``; stray
+    ``KeyError``/``IndexError``/``ValueError`` slips are converted to
+    :class:`CatParseError` too.
+    """
+    try:
+        return _parse_cat(text, default_name)
+    except CatParseError as error:
+        if error.path is None:
+            error.path = path
+        raise
+    except (KeyError, IndexError, ValueError) as error:
+        raise CatParseError(
+            f"malformed cat model ({type(error).__name__}: {error})",
+            path=path,
+        ) from error
+
+
+def _parse_cat(text: str, default_name: str) -> CatFile:
+    cursor = _Cursor(*_tokenize(text))
     name = default_name
     # Optional leading model name: a quoted string or a bare identifier
     # that is not a keyword and is not followed by statement syntax.
@@ -136,10 +225,10 @@ def parse_expr_text(text: str) -> CatExpr:
     and must parse back to an expression that recompiles to the same
     node.
     """
-    cursor = _Cursor(_tokenize(text))
+    cursor = _Cursor(*_tokenize(text))
     expr = _parse_expr(cursor)
     if not cursor.exhausted:
-        raise CatParseError(
+        cursor.fail(
             f"trailing tokens after expression: {cursor.peek()!r}"
         )
     return expr
@@ -151,7 +240,8 @@ def _parse_statement(cursor: _Cursor) -> CatStatement:
         cursor.next()
         path = cursor.next()
         if not path.startswith('"'):
-            raise CatParseError(f"include expects a string, got {path!r}")
+            cursor.idx -= 1
+            cursor.fail(f"include expects a string, got {path!r}")
         return Include(path.strip('"'))
     if token == "let":
         return _parse_let(cursor)
@@ -159,7 +249,8 @@ def _parse_statement(cursor: _Cursor) -> CatStatement:
     negated = cursor.accept("~")
     kind = cursor.next()
     if kind not in _CHECK_KINDS:
-        raise CatParseError(f"expected a check or let, got {kind!r}")
+        cursor.idx -= 1
+        cursor.fail(f"expected a check or let, got {kind!r}")
     expr = _parse_expr(cursor)
     name = None
     if cursor.accept("as"):
@@ -271,7 +362,7 @@ def _parse_postfix(cursor: _Cursor) -> CatExpr:
 def _parse_primary(cursor: _Cursor) -> CatExpr:
     token = cursor.peek()
     if token is None:
-        raise CatParseError("unexpected end of expression")
+        cursor.fail("unexpected end of expression")
     if token == "(":
         cursor.next()
         expr = _parse_expr(cursor)
@@ -295,4 +386,4 @@ def _parse_primary(cursor: _Cursor) -> CatExpr:
                 cursor.accept(",")
             return App(token, tuple(args))
         return Id(token)
-    raise CatParseError(f"unexpected token {token!r} in expression")
+    cursor.fail(f"unexpected token {token!r} in expression")

@@ -39,6 +39,7 @@ import itertools
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.events import Event, FENCE, INIT_TID, ONCE, READ, WRITE, _index_to_label
+from repro.guard import core as _guard
 from repro.kernel import config as _config
 from repro.obs import core as _obs
 from repro.kernel.bitrel import _bits, index_for, reaches
@@ -94,6 +95,8 @@ def candidate_executions_sharded(
     for combo_index, traces in enumerate(itertools.product(*per_thread)):
         if combo_index % shard_count != shard:
             continue
+        if _guard.ACTIVE:
+            _guard._current.tick()  # budget safepoint: one trace combination
         if _obs.ENABLED:
             _obs.count("enumerate.trace_combos")
         yield from _executions_of_traces(
@@ -270,6 +273,8 @@ def _executions_of_traces(
     for rf_choice in itertools.product(*rf_candidates):
         rf = Relation(zip(rf_choice, reads), universe)
         for co_combo in itertools.product(*co_orders_per_loc):
+            if _guard.ACTIVE:
+                _guard._current.tick()  # budget safepoint: one rf×co assignment
             co_pairs: List[Tuple[Event, Event]] = []
             for order in co_combo:
                 co_pairs.extend(_order_pairs(order))
@@ -280,6 +285,8 @@ def _executions_of_traces(
                 if _obs.ENABLED:
                     _obs.count("enumerate.pruned.sc_filtered")
                 continue
+            if _guard.ACTIVE:
+                _guard._current.note_candidate()
             if _obs.ENABLED:
                 _obs.count("enumerate.candidates")
             yield execution
@@ -329,6 +336,8 @@ def _pruned_candidates(
     read_pos = [pos[r] for r in reads]
 
     for rf_choice in itertools.product(*rf_candidates):
+        if _guard.ACTIVE:
+            _guard._current.tick()  # budget safepoint: one rf assignment
         rows = list(static_rows)
         readers_of = [0] * n  # write position -> bitmask of its readers
         for write, r_pos in zip(rf_choice, read_pos):
@@ -350,6 +359,8 @@ def _pruned_candidates(
                 co_pairs: List[Tuple[Event, Event]] = []
                 for order in chosen_orders:
                     co_pairs.extend(_order_pairs(order))
+                if _guard.ACTIVE:
+                    _guard._current.note_candidate()
                 if _obs.ENABLED:
                     _obs.count("enumerate.candidates")
                 yield build(rf, co_pairs)
@@ -369,6 +380,10 @@ def _pruned_candidates(
                 chosen_orders[loc_index] = prefix
                 yield from extend_location(loc_index + 1, rows)
                 return
+            if _guard.ACTIVE:
+                # Budget safepoint, batched: one tick per co extension
+                # step at this level (cheaper than one call per step).
+                _guard._current.tick(len(remaining))
             for i, write in enumerate(remaining):
                 w_pos = pos[write]
                 w_bit = 1 << w_pos

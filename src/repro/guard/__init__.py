@@ -1,0 +1,50 @@
+"""Resource governance and fault tolerance for the verification stack.
+
+``repro.guard`` is the seam that keeps long verification campaigns alive:
+
+* :mod:`repro.guard.core` — :class:`Budget` (wall clock, candidate count,
+  rf×co exploration steps, soft memory ceiling) plus cooperative
+  cancellation, checked at cheap safepoints inside the enumerator, the
+  bytecode VM and the cat evaluator.  On exhaustion the run stops cleanly
+  with an :class:`Interruption` provenance record instead of hanging.
+* :mod:`repro.guard.faults` — deterministic, seeded fault injection
+  (``REPRO_FAULT=crash:0.05,hang:0.01,slow:0.1,seed=8``) applied at
+  worker-task granularity so the recovery machinery is exercised in CI.
+* :mod:`repro.guard.journal` — an append-only JSONL checkpoint of
+  completed (test × models) verdict rows, so an interrupted library sweep
+  resumes instead of restarting.
+
+The fault-tolerant pool driver itself lives in
+:mod:`repro.kernel.parallel` (it owns the pools); it surfaces its
+recovery activity through the ``guard.*`` observability counters.
+"""
+
+from repro.guard.core import (
+    Budget,
+    BudgetExceeded,
+    Cancelled,
+    CancelToken,
+    Guard,
+    GuardStop,
+    Interruption,
+    current,
+    guard,
+)
+from repro.guard.faults import FaultSpec, maybe_inject, parse_fault_spec
+from repro.guard.journal import SweepJournal
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Cancelled",
+    "CancelToken",
+    "FaultSpec",
+    "Guard",
+    "GuardStop",
+    "Interruption",
+    "SweepJournal",
+    "current",
+    "guard",
+    "maybe_inject",
+    "parse_fault_spec",
+]

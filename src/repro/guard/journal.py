@@ -1,0 +1,85 @@
+"""Sweep checkpointing: resume an interrupted verdict sweep.
+
+A :class:`SweepJournal` is an append-only JSON-lines file; each line
+records one completed (test × models) verdict row::
+
+    {"test": "MP+wmb+rmb", "models": ["C11", "LKMM"],
+     "verdicts": {"LKMM": "Forbid", "C11": "Forbid"}}
+
+Rows are flushed (and fsync'd) as they complete, so a sweep killed
+mid-flight loses at most the in-progress tests.  On reload, rows whose
+model set differs from the current sweep's are ignored — a journal from a
+different model mix never contaminates a resume — and a torn trailing
+line (the crash arrived mid-write) is skipped rather than fatal.
+
+Only *conclusive* rows belong in a journal: an ``Inconclusive`` verdict
+reflects the budget it was produced under, not the test, so callers skip
+journaling it and the test reruns on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+class SweepJournal:
+    """Checkpointed (test × models) verdict rows for one sweep shape."""
+
+    def __init__(self, path, model_names: Sequence[str]):
+        self.path = Path(path)
+        self.model_names = sorted(model_names)
+        self._done: Dict[str, Dict[str, str]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from an interrupted write
+            if not isinstance(row, dict) or "test" not in row:
+                continue
+            if sorted(row.get("models", ())) != self.model_names:
+                continue
+            verdicts = row.get("verdicts")
+            if isinstance(verdicts, dict):
+                self._done[row["test"]] = verdicts
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def completed(self, test_name: str) -> Optional[Dict[str, str]]:
+        """The journaled verdict row for ``test_name``, if any."""
+        return self._done.get(test_name)
+
+    def completed_names(self) -> List[str]:
+        return sorted(self._done)
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, test_name: str, verdicts: Dict[str, str]) -> None:
+        """Append one completed row, durably."""
+        self._done[test_name] = dict(verdicts)
+        payload = json.dumps(
+            {
+                "test": test_name,
+                "models": self.model_names,
+                "verdicts": verdicts,
+            },
+            sort_keys=True,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -11,6 +11,17 @@ The verdicts follow the paper's Table 5 vocabulary:
 * for ``~exists`` — **Forbid** means the model indeed rules the witness
   out (the test "passes"), **Allow** means the witness is reachable;
 * for ``forall`` — **Allow** if every allowed execution satisfies it.
+
+A run interrupted by a :mod:`repro.guard` budget (timeout, candidate
+cap, memory ceiling, cancellation) adds a third verdict,
+**Inconclusive**: the scanned prefix did not settle the condition.  The
+degradation is sound — monotone facts established by the prefix survive
+(an ``exists`` witness already found keeps the verdict ``Allow``, a
+``forall`` counterexample keeps it ``Forbid``), and only the verdicts
+that genuinely needed the unscanned suffix degrade.  The
+:class:`RunResult` carries the budget's
+:class:`~repro.guard.Interruption` provenance so callers can report
+*why* and *how far*.
 """
 
 from __future__ import annotations
@@ -20,6 +31,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.executions.candidate import CandidateExecution
 from repro.executions.enumerate import candidate_executions_sharded
+from repro.guard import core as _guard
+from repro.guard.journal import SweepJournal
 from repro.kernel import config as _config
 from repro.litmus.ast import Program
 from repro.litmus.outcomes import Exists, Forall, FinalState, NotExists
@@ -28,6 +41,7 @@ from repro.obs import core as _obs
 
 ALLOW = "Allow"
 FORBID = "Forbid"
+INCONCLUSIVE = "Inconclusive"
 
 
 @dataclass
@@ -49,15 +63,28 @@ class RunResult:
     witness_execution: Optional[CandidateExecution] = None
     #: One forbidden execution matching the condition, if any.
     forbidden_witness: Optional[CandidateExecution] = None
+    #: Budget-trip provenance when the candidate sweep was cut short;
+    #: ``None`` for a complete run.
+    interrupted: Optional["_guard.Interruption"] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every candidate was scanned (no budget tripped)."""
+        return self.interrupted is None
 
     @property
     def verdict(self) -> str:
-        """``Allow``/``Forbid`` for the test's target behaviour."""
+        """``Allow``/``Forbid``, or ``Inconclusive`` for an interrupted
+        run whose scanned prefix did not settle the condition."""
         condition = self.program.condition
         if condition is None or isinstance(condition, (Exists, NotExists)):
-            return ALLOW if self.witnesses > 0 else FORBID
+            if self.witnesses > 0:
+                return ALLOW  # a witness is decisive even in a prefix
+            return FORBID if self.complete else INCONCLUSIVE
         if isinstance(condition, Forall):
-            return ALLOW if self.witnesses == self.allowed else FORBID
+            if self.allowed > self.witnesses:
+                return FORBID  # a counterexample is decisive
+            return ALLOW if self.complete else INCONCLUSIVE
         raise TypeError(f"unknown condition {condition!r}")
 
     @property
@@ -70,11 +97,14 @@ class RunResult:
         return "Sometimes"
 
     def describe(self) -> str:
-        return (
+        summary = (
             f"{self.program.name} under {self.model_name}: {self.verdict} "
             f"({self.witnesses} witnesses / {self.allowed} allowed / "
             f"{self.candidates} candidates)"
         )
+        if self.interrupted is not None:
+            summary += f" [interrupted: {self.interrupted.describe()}]"
+        return summary
 
 
 def _decided(result: RunResult) -> bool:
@@ -137,37 +167,48 @@ def run_litmus_many(
         )
         for model in models
     ]
+    interruption: Optional[_guard.Interruption] = None
     with _obs.span("herd.run"):
-        for execution in candidate_executions_sharded(
-            program,
-            shard,
-            shard_count,
-            require_sc_per_location=require_sc_per_location,
-        ):
-            matches = (
-                condition is None or condition.evaluate(execution.final_state)
-            )
-            for model, result in zip(models, results):
-                result.candidates += 1
-                if verdict_only and (matches if not exists_like else not matches):
-                    continue
-                with _obs.span(f"model.{model.name}"):
-                    allowed = model.allows(execution)
-                if not allowed:
-                    if matches and result.forbidden_witness is None:
-                        result.forbidden_witness = execution
-                    continue
-                result.allowed += 1
-                if keep_states:
-                    result.states.add(execution.final_state)
-                if matches:
-                    result.witnesses += 1
-                    if result.witness_execution is None:
-                        result.witness_execution = execution
-            if stop_when_decided and all(map(_decided, results)):
-                if _obs.ENABLED:
-                    _obs.count("herd.early_exit")
-                break
+        try:
+            for execution in candidate_executions_sharded(
+                program,
+                shard,
+                shard_count,
+                require_sc_per_location=require_sc_per_location,
+            ):
+                matches = (
+                    condition is None or condition.evaluate(execution.final_state)
+                )
+                for model, result in zip(models, results):
+                    result.candidates += 1
+                    if verdict_only and (matches if not exists_like else not matches):
+                        continue
+                    with _obs.span(f"model.{model.name}"):
+                        allowed = model.allows(execution)
+                    if not allowed:
+                        if matches and result.forbidden_witness is None:
+                            result.forbidden_witness = execution
+                        continue
+                    result.allowed += 1
+                    if keep_states:
+                        result.states.add(execution.final_state)
+                    if matches:
+                        result.witnesses += 1
+                        if result.witness_execution is None:
+                            result.witness_execution = execution
+                if stop_when_decided and all(map(_decided, results)):
+                    if _obs.ENABLED:
+                        _obs.count("herd.early_exit")
+                    break
+        except _guard.GuardStop as stop:
+            # A budget tripped at a safepoint: keep the partial counters
+            # and degrade the verdicts instead of crashing the run.
+            interruption = stop.interruption
+            if _obs.ENABLED:
+                _obs.count("herd.interrupted")
+    if interruption is not None:
+        for result in results:
+            result.interrupted = interruption
     if _obs.ENABLED:
         for result in results:
             _obs.count(f"herd.{result.model_name}.candidates", result.candidates)
@@ -182,6 +223,7 @@ def run_litmus(
     require_sc_per_location: bool = False,
     keep_states: bool = True,
     jobs: int = 1,
+    budget: Optional["_guard.Budget"] = None,
 ) -> RunResult:
     """Run ``program`` against ``model`` and summarise the results.
 
@@ -190,6 +232,11 @@ def run_litmus(
     large tests.  ``jobs > 1`` shards the trace combinations over that
     many worker processes (:mod:`repro.kernel.parallel`); the verdict,
     counts and state set are identical to a sequential run.
+
+    ``budget`` bounds the run (:class:`repro.guard.Budget`); an exhausted
+    budget yields a partial :class:`RunResult` whose verdict may be
+    ``Inconclusive``.  An already-armed ambient guard
+    (:func:`repro.guard.guard`) is honoured without the parameter.
     """
     if jobs > 1:
         from repro.kernel.parallel import run_litmus_parallel
@@ -200,7 +247,16 @@ def run_litmus(
             jobs=jobs,
             require_sc_per_location=require_sc_per_location,
             keep_states=keep_states,
+            budget=budget,
         )
+    if budget is not None:
+        with _guard.guard(budget):
+            return run_litmus_many(
+                [model],
+                program,
+                require_sc_per_location=require_sc_per_location,
+                keep_states=keep_states,
+            )[model.name]
     return run_litmus_many(
         [model],
         program,
@@ -213,6 +269,7 @@ def verdicts(
     models: List[Model],
     programs: List[Program],
     jobs: int = 1,
+    journal: Optional[SweepJournal] = None,
     **kwargs,
 ) -> Dict[str, Dict[str, str]]:
     """Verdict table: ``{test name: {model name: Allow/Forbid}}``.
@@ -228,17 +285,33 @@ def verdicts(
     exhaustive scan.  The defaults are resolved *here*, before the
     serial/parallel split, keeping both paths (and their observability
     counters) identical.
+
+    ``journal`` checkpoints each completed row as it lands
+    (:class:`repro.guard.SweepJournal`): programs already journaled are
+    skipped, so an interrupted sweep resumes instead of restarting.
+    ``Inconclusive`` rows are reported but never journaled — they reflect
+    the budget, not the test.
     """
     kwargs.setdefault("stop_when_decided", _config.vm_enabled())
     kwargs.setdefault("verdict_only", _config.vm_enabled())
     if jobs > 1 and len(programs) > 1:
         from repro.kernel.parallel import verdicts_parallel
 
-        return verdicts_parallel(models, programs, jobs, **kwargs)
+        return verdicts_parallel(
+            models, programs, jobs, journal=journal, **kwargs
+        )
     table: Dict[str, Dict[str, str]] = {}
     for program in programs:
+        if journal is not None:
+            done = journal.completed(program.name)
+            if done is not None:
+                if _obs.ENABLED:
+                    _obs.count("guard.journal_skips")
+                table[program.name] = done
+                continue
         results = run_litmus_many(models, program, **kwargs)
-        table[program.name] = {
-            model.name: results[model.name].verdict for model in models
-        }
+        row = {model.name: results[model.name].verdict for model in models}
+        table[program.name] = row
+        if journal is not None and INCONCLUSIVE not in row.values():
+            journal.record(program.name, row)
     return table

@@ -1,4 +1,4 @@
-"""Parallel litmus driving over multiprocessing worker pools.
+"""Parallel litmus driving over fault-tolerant worker pools.
 
 Trace enumeration is deterministic (:func:`repro.executions.enumerate.
 candidate_executions_sharded`), so parallelism needs no communication:
@@ -18,30 +18,81 @@ processes.  The parent's backend configuration is replicated into each
 worker explicitly (an initializer, not environment inheritance), so
 ``use_backend``/``use_incremental`` contexts apply to parallel runs too.
 
-Observability (:mod:`repro.obs`) crosses the pool the same way: when the
-parent has a collector installed, each worker runs its task under a local
-:func:`repro.obs.collect` block and ships the serialised
-:class:`~repro.obs.RunReport` back with the task result
-(:func:`run_observed`); the parent absorbs the reports, so counter totals
-are *exact* — a serial run and a merged parallel run of the same test
-produce identical enumeration/judgement counters (``tests/test_obs.py``).
-Span statistics merge too (per-worker wall time sums); the raw
-``trace`` event list stays parent-process only.
+**Fault tolerance** (:func:`fault_tolerant_map`, the single submission
+path): pools are :class:`concurrent.futures.ProcessPoolExecutor` objects,
+so a worker that dies mid-task (OOM kill, segfault, injected
+``REPRO_FAULT`` crash) surfaces promptly as ``BrokenProcessPool`` instead
+of hanging the sweep; a worker that *hangs* is caught by the per-attempt
+deadline.  Either way the driver kills the poisoned pool, re-spawns a
+fresh one, and retries only the lost tasks with exponential backoff and
+deterministic jitter, up to :data:`MAX_ATTEMPTS` attempts.  Completed
+results are never recomputed.  Recovery activity is published as
+``guard.worker_deaths`` / ``guard.worker_hangs`` / ``guard.retries``
+observability counters.
+
+**Budgets** cross the pool boundary by value: the drivers pickle the
+parent's ambient :class:`repro.guard.Budget` into each task and workers
+re-arm it locally, so shards self-limit cooperatively and ship partial
+results home; the parent additionally derives a *hard* per-attempt
+deadline from the wall budget (:func:`shard_deadline`) as a backstop
+against workers that cannot reach a safepoint.
+
+**Signals**: workers ignore SIGINT (the parent owns interruption); a
+``KeyboardInterrupt`` in the parent terminates every pool promptly —
+no orphaned worker processes — and :func:`shutdown_pools` is idempotent
+and safe to call from signal/atexit context.
+
+Observability (:mod:`repro.obs`) crosses the pool the same way as
+before: when the parent has a collector installed, each worker runs its
+task under a local :func:`repro.obs.collect` block and ships the
+serialised :class:`~repro.obs.RunReport` back with the task result
+(:func:`run_observed`); the parent absorbs the reports, so counter
+totals are *exact* — a serial run and a merged parallel run of the same
+test produce identical enumeration/judgement counters
+(``tests/test_obs.py``).
 """
 
 from __future__ import annotations
 
 import atexit
+import hashlib
 import multiprocessing
+import signal
+import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.guard import core as _guard_core
+from repro.guard import faults as _faults
 from repro.kernel import config as _config
 from repro.obs import core as _obs
 
 #: Set in each worker by the pool initializer: the parent had a collector
 #: installed, so tasks must collect locally and ship their report home.
 _WORKER_OBSERVING = False
+
+#: Retry policy for lost shards: total attempts (first try included).
+MAX_ATTEMPTS = 4
+#: Base backoff before the first retry; doubles per attempt, plus jitter.
+BACKOFF_BASE_S = 0.05
+#: Grace multiplier/slack turning a cooperative wall budget into a hard
+#: per-attempt deadline for hang detection.
+DEADLINE_FACTOR = 2.0
+DEADLINE_SLACK_S = 5.0
+
+
+class WorkerPoolError(RuntimeError):
+    """Raised when tasks still fail after every retry attempt."""
 
 
 def _init_worker(
@@ -50,13 +101,21 @@ def _init_worker(
     check_plan: bool,
     vm: bool,
     observing: bool,
+    fault_spec: Optional[str],
 ) -> None:
     global _WORKER_OBSERVING
+    # The parent owns interruption: on Ctrl-C it terminates pools
+    # explicitly, so workers must not die mid-IPC with tracebacks.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     _config.set_backend(backend)
     _config.set_incremental(incremental)
     _config.set_check_plan(check_plan)
     _config.set_vm(vm)
     _WORKER_OBSERVING = observing
+    _faults.mark_worker_process(fault_spec)
 
 
 def _pool_config() -> tuple:
@@ -66,16 +125,80 @@ def _pool_config() -> tuple:
         _config.check_plan_enabled(),
         _config.vm_enabled(),
         _obs.enabled(),
+        _faults.raw_spec(),
     )
 
 
-def worker_pool(jobs: int):
+class WorkerPool:
+    """A process pool with prompt, idempotent termination.
+
+    Wraps :class:`ProcessPoolExecutor` (whose broken-pool detection the
+    fault tolerance relies on) behind the small pool surface the rest of
+    the package uses: ``submit``/``map``/``terminate``/``join``, and a
+    context manager that *terminates* on exit like
+    ``multiprocessing.Pool`` (an executor's default would block until
+    every queued task drains).
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self._dead = False
+        self._executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=multiprocessing.get_context(),
+            initializer=_init_worker,
+            initargs=_pool_config(),
+        )
+
+    def submit(self, fn: Callable, *args):
+        return self._executor.submit(fn, *args)
+
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        futures = [self.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def worker_pids(self) -> List[int]:
+        processes = getattr(self._executor, "_processes", None) or {}
+        return [proc.pid for proc in processes.values() if proc.pid]
+
+    def terminate(self) -> None:
+        """Kill workers and drop queued work; safe to call repeatedly."""
+        if self._dead:
+            return
+        self._dead = True
+        processes = list(
+            (getattr(self._executor, "_processes", None) or {}).values()
+        )
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        for proc in processes:
+            try:
+                proc.join(timeout=5)
+            except Exception:  # pragma: no cover
+                pass
+
+    def join(self) -> None:
+        if not self._dead:
+            self._executor.shutdown(wait=True)
+            self._dead = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.terminate()
+
+
+def worker_pool(jobs: int) -> WorkerPool:
     """A fresh pool whose workers replicate this process's kernel config."""
-    return multiprocessing.get_context().Pool(
-        processes=jobs,
-        initializer=_init_worker,
-        initargs=_pool_config(),
-    )
+    return WorkerPool(jobs)
 
 
 #: Long-lived pools keyed by (jobs, kernel config): spawning workers and
@@ -84,15 +207,16 @@ def worker_pool(jobs: int):
 #: spawn and per-worker model/plan/bytecode compile cost once, not once
 #: per test.  Bounded LRU; a config change (different key) rotates the
 #: stale pool out and terminates it.
-_PERSISTENT_POOLS: "OrderedDict[tuple, Any]" = OrderedDict()
+_PERSISTENT_POOLS: "OrderedDict[tuple, WorkerPool]" = OrderedDict()
 _PERSISTENT_POOL_LIMIT = 2
 
 
-def persistent_pool(jobs: int):
+def persistent_pool(jobs: int) -> WorkerPool:
     """A shared pool for this (jobs, config) combination.
 
     Callers must *not* close or terminate it; :func:`shutdown_pools`
-    (registered atexit, and available to tests) reclaims the processes.
+    (registered atexit, and available to tests) reclaims the processes,
+    and :func:`discard_pool` retires one that crashed or hung.
     """
     key = (jobs,) + _pool_config()
     pool = _PERSISTENT_POOLS.get(key)
@@ -108,19 +232,186 @@ def persistent_pool(jobs: int):
     while len(_PERSISTENT_POOLS) > _PERSISTENT_POOL_LIMIT:
         _, stale = _PERSISTENT_POOLS.popitem(last=False)
         stale.terminate()
-        stale.join()
     return pool
 
 
+def discard_pool(pool: WorkerPool) -> None:
+    """Retire a poisoned persistent pool (broken or hung workers)."""
+    for key, candidate in list(_PERSISTENT_POOLS.items()):
+        if candidate is pool:
+            del _PERSISTENT_POOLS[key]
+    pool.terminate()
+
+
 def shutdown_pools() -> None:
-    """Terminate and reap every persistent pool."""
-    while _PERSISTENT_POOLS:
-        _, pool = _PERSISTENT_POOLS.popitem()
+    """Terminate and reap every persistent pool.
+
+    Idempotent and re-entrant: concurrent/repeated calls (atexit, a
+    SIGINT handler, test teardown) each drain whatever pools remain and
+    calling it with no pools left is a no-op.
+    """
+    while True:
+        try:
+            _, pool = _PERSISTENT_POOLS.popitem()
+        except KeyError:
+            return
         pool.terminate()
-        pool.join()
 
 
 atexit.register(shutdown_pools)
+
+
+# -- fault-tolerant submission --------------------------------------------
+
+
+def _jitter(attempt: int, pending: int) -> float:
+    """Deterministic jitter in [0, 1) — reproducible backoff schedules."""
+    digest = hashlib.sha256(f"backoff|{attempt}|{pending}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _faulted_call(fn: Callable, payload, nonce: str):
+    """Worker-side task wrapper: the fault-injection point."""
+    _faults.maybe_inject(nonce)
+    return fn(payload)
+
+
+def shard_deadline(budget: Optional["_guard_core.Budget"]) -> Optional[float]:
+    """A hard per-attempt deadline derived from a cooperative wall budget.
+
+    Workers normally stop themselves at a safepoint well inside the
+    budget; the hard deadline (``factor × wall + slack``) only fires for
+    workers that cannot reach one — a hung syscall, an injected hang —
+    and triggers pool replacement plus a retry.
+    """
+    if budget is None or budget.wall_seconds is None:
+        return None
+    return budget.wall_seconds * DEADLINE_FACTOR + DEADLINE_SLACK_S
+
+
+def fault_tolerant_map(
+    fn: Callable,
+    payloads: Sequence,
+    jobs: int,
+    task_timeout: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List:
+    """Run ``fn`` over ``payloads`` on a worker pool, surviving crashes
+    and hangs.
+
+    Results are returned in payload order.  ``task_timeout`` bounds each
+    *attempt* (all in-flight tasks share the deadline; expired tasks are
+    treated as hung and retried on a fresh pool).  ``on_result`` is
+    invoked as ``on_result(index, result)`` in completion order — the
+    checkpoint-journal hook.  Raises :class:`WorkerPoolError` when tasks
+    still fail after ``max_attempts`` total attempts, and re-raises any
+    genuine task exception immediately (a deterministic bug is not
+    retryable).
+    """
+    if max_attempts is None:
+        max_attempts = MAX_ATTEMPTS
+    results: List[Any] = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    # Attempts are tracked per task: one crash fails every in-flight
+    # future on the broken pool, and that collateral damage must not
+    # burn through a whole-batch retry budget.
+    attempts = [0] * len(payloads)
+    task_name = getattr(fn, "__name__", "task")
+    try:
+        while pending:
+            pool = persistent_pool(jobs)
+            futures = {}
+            submit_broken = False
+            for index in pending:
+                # A fast crash can break the executor while the rest of
+                # the batch is still being submitted; submit() then
+                # raises synchronously, so the unsubmitted tail has to
+                # join this round's retries rather than escape.
+                try:
+                    future = pool.submit(
+                        _faulted_call,
+                        fn,
+                        payloads[index],
+                        f"{task_name}:{index}:{attempts[index]}",
+                    )
+                except BrokenProcessPool:
+                    submit_broken = True
+                    if _obs.ENABLED:
+                        _obs.count("guard.worker_deaths")
+                    break
+                futures[future] = index
+            deadline = (
+                None
+                if task_timeout is None
+                else time.monotonic() + task_timeout
+            )
+            failed: List[int] = []
+            poisoned = False
+            remaining = set(futures)
+            while remaining:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                done, not_done = wait(
+                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Deadline passed with tasks still running: hung
+                    # worker(s).  The pool must die — a stuck worker
+                    # cannot be evicted individually.
+                    failed.extend(futures[future] for future in not_done)
+                    if _obs.ENABLED:
+                        _obs.count("guard.worker_hangs", len(not_done))
+                    poisoned = True
+                    break
+                for future in done:
+                    remaining.discard(future)
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        failed.append(index)
+                        poisoned = True
+                        if _obs.ENABLED:
+                            _obs.count("guard.worker_deaths")
+                        continue
+                    if on_result is not None:
+                        on_result(index, results[index])
+            if submit_broken:
+                poisoned = True
+                submitted = set(futures.values())
+                failed.extend(
+                    index for index in pending if index not in submitted
+                )
+            if poisoned:
+                discard_pool(pool)
+            pending = sorted(failed)
+            if pending:
+                for index in pending:
+                    attempts[index] += 1
+                exhausted = [
+                    index
+                    for index in pending
+                    if attempts[index] >= max_attempts
+                ]
+                if exhausted:
+                    raise WorkerPoolError(
+                        f"{len(exhausted)} worker task(s) still failing "
+                        f"after {max_attempts} attempts"
+                    )
+                round_number = max(attempts[index] for index in pending)
+                delay = BACKOFF_BASE_S * (2 ** (round_number - 1))
+                delay *= 1.0 + _jitter(round_number, len(pending))
+                if _obs.ENABLED:
+                    _obs.count("guard.retries", len(pending))
+                time.sleep(delay)
+    except KeyboardInterrupt:
+        # Terminate promptly rather than leaving orphaned workers
+        # grinding through a sweep nobody wants any more.
+        shutdown_pools()
+        raise
+    return results
 
 
 def run_observed(fn: Callable[[], Any]) -> Tuple[Any, Optional[Dict]]:
@@ -146,11 +437,21 @@ def _absorb_reports(outcomes: Sequence[Tuple[Any, Optional[Dict]]]) -> List:
     return [result for result, _ in outcomes]
 
 
+def _ambient_budget(
+    budget: Optional["_guard_core.Budget"],
+) -> Optional["_guard_core.Budget"]:
+    """The explicit budget, else the armed guard's (for forwarding)."""
+    if budget is not None:
+        return budget
+    active = _guard_core.current()
+    return active.budget if active is not None else None
+
+
 # -- one program, sharded trace combinations ----------------------------
 
 
 def _run_shard(task):
-    model, program, shard, shard_count, require_sc, keep_states = task
+    model, program, shard, shard_count, require_sc, keep_states, budget = task
     from repro.herd import run_litmus_many
 
     def run():
@@ -163,14 +464,25 @@ def _run_shard(task):
             shard_count=shard_count,
         )[model.name]
 
-    return run_observed(run)
+    def guarded():
+        if budget is None:
+            return run()
+        # Each shard re-arms the budget locally (its own wall clock,
+        # candidate and memory counters): shards self-limit and return
+        # partial RunResults that merge_results degrades soundly.
+        with _guard_core.guard(budget):
+            return run()
+
+    return run_observed(guarded)
 
 
 def merge_results(partials: Sequence) -> "RunResult":
     """Sum shard-local :class:`~repro.herd.RunResult` counters.
 
     Witness executions are taken from the lowest shard that found one, so
-    the merged result is deterministic for a fixed shard count.
+    the merged result is deterministic for a fixed shard count.  Any
+    interrupted shard marks the merged result interrupted (first shard's
+    provenance wins); the verdict property keeps decisive facts decisive.
     """
     merged = partials[0]
     for partial in partials[1:]:
@@ -182,6 +494,8 @@ def merge_results(partials: Sequence) -> "RunResult":
             merged.witness_execution = partial.witness_execution
         if merged.forbidden_witness is None:
             merged.forbidden_witness = partial.forbidden_witness
+        if merged.interrupted is None:
+            merged.interrupted = partial.interrupted
     return merged
 
 
@@ -191,29 +505,37 @@ def run_litmus_parallel(
     jobs: int,
     require_sc_per_location: bool = False,
     keep_states: bool = True,
+    budget: Optional["_guard_core.Budget"] = None,
 ):
     """Run one litmus test with its trace combinations sharded over ``jobs``
     worker processes.  Verdict, counts and state set are identical to the
-    sequential :func:`repro.herd.run_litmus`."""
-    from repro.herd import run_litmus_many
-
+    sequential :func:`repro.herd.run_litmus`; crashed or hung workers are
+    retried transparently (:func:`fault_tolerant_map`)."""
     jobs = max(1, int(jobs))
+    budget = _ambient_budget(budget)
     if jobs == 1:
-        return run_litmus_many(
-            [model],
-            program,
-            require_sc_per_location=require_sc_per_location,
-            keep_states=keep_states,
-        )[model.name]
+        return _run_shard(
+            (model, program, 0, 1, require_sc_per_location, keep_states, budget)
+        )[0]
     if _obs.ENABLED:
         _obs.gauge("parallel.jobs", jobs)
         _obs.count("parallel.sharded_runs")
     tasks = [
-        (model, program, shard, jobs, require_sc_per_location, keep_states)
+        (
+            model,
+            program,
+            shard,
+            jobs,
+            require_sc_per_location,
+            keep_states,
+            budget,
+        )
         for shard in range(jobs)
     ]
     with _obs.span("parallel.run_litmus"):
-        outcomes = persistent_pool(jobs).map(_run_shard, tasks)
+        outcomes = fault_tolerant_map(
+            _run_shard, tasks, jobs, task_timeout=shard_deadline(budget)
+        )
     return merge_results(_absorb_reports(outcomes))
 
 
@@ -221,7 +543,7 @@ def run_litmus_parallel(
 
 
 def _run_program(task):
-    models, program, kwargs = task
+    models, program, kwargs, budget = task
     from repro.herd import run_litmus_many
 
     def run():
@@ -230,13 +552,21 @@ def _run_program(task):
             model.name: results[model.name].verdict for model in models
         }
 
-    return run_observed(run)
+    def guarded():
+        if budget is None:
+            return run()
+        with _guard_core.guard(budget):
+            return run()
+
+    return run_observed(guarded)
 
 
 def verdicts_parallel(
     models: List,
     programs: List,
     jobs: int,
+    journal=None,
+    budget: Optional["_guard_core.Budget"] = None,
     **kwargs,
 ) -> Dict[str, Dict[str, str]]:
     """The :func:`repro.herd.verdicts` table, one program per pool task.
@@ -245,18 +575,64 @@ def verdicts_parallel(
     exactly (for callers that come here directly), so serial and
     distributed sweeps scan the same candidate prefixes, check the same
     candidates, and their merged counters agree (``tests/test_obs.py``).
+
+    Completed rows are checkpointed to ``journal`` as they land (in
+    completion order — the journal is an unordered set of rows), already
+    journaled programs are skipped, and lost workers are retried; an
+    interrupted sweep therefore resumes instead of restarting.
     """
+    from repro.herd import INCONCLUSIVE
+
     kwargs.setdefault("stop_when_decided", _config.vm_enabled())
     kwargs.setdefault("verdict_only", _config.vm_enabled())
     jobs = max(1, int(jobs))
-    tasks = [(models, program, kwargs) for program in programs]
+    budget = _ambient_budget(budget)
+
+    table: Dict[str, Dict[str, str]] = {}
+    to_run = []
+    for program in programs:
+        done = journal.completed(program.name) if journal is not None else None
+        if done is not None:
+            if _obs.ENABLED:
+                _obs.count("guard.journal_skips")
+            table[program.name] = done
+        else:
+            to_run.append(program)
+
+    tasks = [(models, program, kwargs, budget) for program in to_run]
+
+    def checkpoint(index: int, outcome) -> None:
+        (name, row), report = outcome
+        if report is not None:
+            _obs.absorb(report)
+        if journal is not None and INCONCLUSIVE not in row.values():
+            journal.record(name, row)
+
     if jobs == 1 or len(tasks) <= 1:
-        outcomes = [_run_program(task) for task in tasks]
+        outcomes = []
+        for index, task in enumerate(tasks):
+            outcome = _run_program(task)
+            checkpoint(index, outcome)
+            outcomes.append(outcome)
+        rows = [result for result, _ in outcomes]
     else:
         if _obs.ENABLED:
             _obs.gauge("parallel.jobs", jobs)
             _obs.count("parallel.program_batches")
         with _obs.span("parallel.verdicts"):
-            pool = persistent_pool(min(jobs, len(tasks)))
-            outcomes = pool.map(_run_program, tasks)
-    return dict(_absorb_reports(outcomes))
+            outcomes = fault_tolerant_map(
+                _run_program,
+                tasks,
+                min(jobs, len(tasks)),
+                task_timeout=shard_deadline(budget),
+                on_result=checkpoint,
+            )
+        rows = [result for result, _ in outcomes]
+    for name, row in rows:
+        table[name] = row
+    # Preserve input program order in the returned table.
+    return {
+        program.name: table[program.name]
+        for program in programs
+        if program.name in table
+    }

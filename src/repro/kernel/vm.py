@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.events import FENCE, READ, WRITE
+from repro.guard import core as _guard
 from repro.kernel.bitrel import DenseRelation, _bits, index_for
 from repro.model import AxiomViolation
 from repro.obs import core as _obs
@@ -471,6 +472,8 @@ def run_checks(
     or ``None`` when this execution has no dense relations (the caller
     falls back to the plan evaluator).
     """
+    if _guard.ACTIVE:
+        _guard._current.tick()  # budget safepoint: one per-candidate VM run
     index = index_for(execution.universe)
     skeleton = execution._shared
     if skeleton is None:

@@ -38,7 +38,7 @@ fences of Tables 3 and 4, ``xchg`` variants, ``cmpxchg``,
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NoReturn, Optional, Tuple
 
 from repro.events import Pointer, Value
 from repro.litmus.ast import (
@@ -73,7 +73,38 @@ from repro.litmus.outcomes import (
 
 
 class ParseError(Exception):
-    """Raised on malformed litmus input."""
+    """Malformed litmus input, with source location when known.
+
+    Renders compiler-style — ``path:line:column: message`` — so editors
+    and CI annotations can jump to the offending token.  ``line`` and
+    ``column`` are 1-based; any location part may be absent (e.g. a
+    missing header has no token to point at).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        path: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.path = path
+
+    def __str__(self) -> str:
+        parts = []
+        if self.path is not None:
+            parts.append(str(self.path))
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        if not parts:
+            return self.message
+        return f"{':'.join(parts)}: {self.message}"
 
 
 _TOKEN_RE = re.compile(
@@ -113,40 +144,72 @@ _CMPXCHG_NAMES = {
 _TYPE_WORDS = {"int", "long", "unsigned", "volatile", "atomic_t", "void", "char"}
 
 
-def _tokenize(text: str, first_line: int = 1) -> Tuple[List[str], List[int]]:
-    """Tokens plus the 1-based source line each token starts on."""
+def _tokenize(
+    text: str, first_line: int = 1
+) -> Tuple[List[str], List[Tuple[int, int]]]:
+    """Tokens plus the 1-based (line, column) each token starts at."""
     tokens: List[str] = []
-    lines: List[int] = []
+    positions: List[Tuple[int, int]] = []
     pos = 0
     line = first_line
+    line_start = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+            raise ParseError(
+                f"unexpected character {text[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        start = pos
         pos = match.end()
-        if match.lastgroup in ("ws", "comment"):
-            line += match.group().count("\n")
-            continue
-        tokens.append(match.group())
-        lines.append(line)
-        line += match.group().count("\n")
-    return tokens, lines
+        group = match.group()
+        if match.lastgroup not in ("ws", "comment"):
+            tokens.append(group)
+            positions.append((line, start - line_start + 1))
+        newlines = group.count("\n")
+        if newlines:
+            line += newlines
+            line_start = start + group.rfind("\n") + 1
+    return tokens, positions
 
 
 class _Tokens:
-    """A token cursor with one-token lookahead."""
+    """A token cursor with one-token lookahead and source positions."""
 
-    def __init__(self, tokens: List[str], lines: Optional[List[int]] = None):
+    def __init__(
+        self,
+        tokens: List[str],
+        positions: Optional[List[Tuple[int, int]]] = None,
+    ):
         self._tokens = tokens
-        self._lines = lines if lines is not None else [1] * len(tokens)
+        self._positions = (
+            positions if positions is not None else [(1, 1)] * len(tokens)
+        )
         self._idx = 0
+
+    def _position(self) -> Tuple[Optional[int], Optional[int]]:
+        if not self._positions:
+            return None, None
+        idx = min(self._idx, len(self._positions) - 1)
+        return self._positions[idx]
 
     @property
     def line(self) -> int:
         """Source line of the next (unconsumed) token; the last token's
         line once exhausted."""
-        idx = min(self._idx, len(self._lines) - 1)
-        return self._lines[idx] if self._lines else 1
+        line, _ = self._position()
+        return line if line is not None else 1
+
+    @property
+    def column(self) -> int:
+        _, column = self._position()
+        return column if column is not None else 1
+
+    def fail(self, message: str) -> NoReturn:
+        """Raise a :class:`ParseError` located at the cursor."""
+        line, column = self._position()
+        raise ParseError(message, line=line, column=column)
 
     def peek(self, offset: int = 0) -> Optional[str]:
         idx = self._idx + offset
@@ -155,14 +218,17 @@ class _Tokens:
     def next(self) -> str:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of input")
+            self.fail("unexpected end of input")
         self._idx += 1
         return token
 
     def expect(self, token: str) -> None:
+        if self.peek() is None:
+            self.fail(f"expected {token!r}, got end of input")
         got = self.next()
         if got != token:
-            raise ParseError(f"expected {token!r}, got {got!r}")
+            self._idx -= 1
+            self.fail(f"expected {token!r}, got {got!r}")
 
     def accept(self, token: str) -> bool:
         if self.peek() == token:
@@ -175,12 +241,35 @@ class _Tokens:
         return self._idx >= len(self._tokens)
 
 
-def parse_litmus(text: str) -> Program:
-    """Parse a litmus test from its textual form."""
+def parse_litmus(text: str, path: Optional[str] = None) -> Program:
+    """Parse a litmus test from its textual form.
+
+    ``path``, when given, is attached to any :class:`ParseError` so the
+    error renders as ``path:line:column: message``.  Internal parser
+    slips (stray ``KeyError``/``IndexError``/``ValueError``) are
+    converted to :class:`ParseError` too — malformed input never escapes
+    as an unrelated exception type.
+    """
+    try:
+        return _parse_litmus(text)
+    except ParseError as error:
+        if error.path is None:
+            error.path = path
+        raise
+    except (KeyError, IndexError, ValueError) as error:
+        raise ParseError(
+            f"malformed litmus test ({type(error).__name__}: {error})",
+            path=path,
+        ) from error
+
+
+def _parse_litmus(text: str) -> Program:
     header = _HEADER_RE.match(text)
     if header is None:
         raise ParseError(
-            'litmus test must start with a header line such as "C <name>"'
+            'litmus test must start with a header line such as "C <name>"',
+            line=1,
+            column=1,
         )
     name = header.group("name")
     header_lines = text[:header.end()].count("\n")
@@ -195,17 +284,17 @@ def parse_litmus(text: str) -> Program:
         tid, th = _parse_thread(tokens)
         threads.append((tid, th))
     if not threads:
-        raise ParseError(f"litmus test {name!r} has no threads")
+        tokens.fail(f"litmus test {name!r} has no threads")
     threads.sort(key=lambda pair: pair[0])
     expected = list(range(len(threads)))
     if [tid for tid, _ in threads] != expected:
-        raise ParseError(f"thread ids must be P0..P{len(threads) - 1}")
+        tokens.fail(f"thread ids must be P0..P{len(threads) - 1}")
 
     condition: Optional[Condition] = None
     if not tokens.exhausted:
         condition = _parse_condition(tokens)
     if not tokens.exhausted:
-        raise ParseError(f"trailing input starting at {tokens.peek()!r}")
+        tokens.fail(f"trailing input starting at {tokens.peek()!r}")
     return Program(name, tuple(th for _, th in threads), init, condition)
 
 
@@ -244,7 +333,8 @@ def _parse_init_value(tokens: _Tokens) -> Value:
     if re.fullmatch(r"\d+", token):
         return -int(token) if negative else int(token)
     if negative:
-        raise ParseError(f"expected a number after '-', got {token!r}")
+        tokens._idx -= 1
+        tokens.fail(f"expected a number after '-', got {token!r}")
     # A bare identifier in init position is an address (herd allows "y=x").
     return Pointer(token)
 
@@ -295,7 +385,7 @@ class _ThreadParser:
         tokens = self.tokens
         token = tokens.peek()
         if token is None:
-            raise ParseError("unexpected end of thread body")
+            tokens.fail("unexpected end of thread body")
 
         if token == ";":
             tokens.next()
@@ -505,11 +595,12 @@ def _parse_condition(tokens: _Tokens) -> Condition:
     negated = tokens.accept("~")
     quantifier = tokens.next()
     if quantifier not in ("exists", "forall"):
-        raise ParseError(f"expected exists/forall, got {quantifier!r}")
+        tokens._idx -= 1
+        tokens.fail(f"expected exists/forall, got {quantifier!r}")
     body = _parse_cond_or(tokens)
     if quantifier == "forall":
         if negated:
-            raise ParseError("~forall is not supported")
+            tokens.fail("~forall is not supported")
         return Forall(body)
     return NotExists(body) if negated else Exists(body)
 
@@ -555,5 +646,6 @@ def _parse_cond_value(tokens: _Tokens) -> Value:
     if re.fullmatch(r"\d+", token):
         return -int(token) if negative else int(token)
     if negative:
-        raise ParseError(f"expected a number after '-', got {token!r}")
+        tokens._idx -= 1
+        tokens.fail(f"expected a number after '-', got {token!r}")
     return Pointer(token)

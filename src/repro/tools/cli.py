@@ -23,23 +23,45 @@ from typing import List, Optional
 
 from repro import obs
 from repro.cat import load_model
-from repro.herd import run_litmus
+from repro.guard import Budget, SweepJournal
+from repro.herd import INCONCLUSIVE, run_litmus
 from repro.hardware import run_klitmus
 from repro.hardware.archspec import ARCHITECTURES
 from repro.litmus import library
 from repro.litmus.ast import Program
-from repro.litmus.parser import parse_litmus
+from repro.litmus.parser import ParseError, parse_litmus
 from repro.lkmm import LinuxKernelModel, explain_forbidden
+
+#: Exit statuses for ``repro-herd``: distinguish "the run worked but a
+#: budget left some verdict unsettled" (retryable with a bigger budget)
+#: from usage/parse errors.
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_INCONCLUSIVE = 3
+
+
+class CliError(Exception):
+    """A user-input problem (bad test name, unparsable file)."""
 
 
 def _resolve_tests(names: List[str]) -> List[Program]:
     programs = []
     for name in names:
         path = Path(name)
-        if path.exists():
-            programs.append(parse_litmus(path.read_text()))
-        else:
-            programs.append(library.get(name))
+        try:
+            if path.exists():
+                programs.append(
+                    parse_litmus(path.read_text(), path=str(path))
+                )
+            else:
+                programs.append(library.get(name))
+        except ParseError as error:
+            raise CliError(str(error)) from error
+        except KeyError as error:
+            message = error.args[0] if error.args else str(error)
+            raise CliError(f"{name}: {message}") from error
+        except OSError as error:
+            raise CliError(f"{name}: {error}") from error
     return programs
 
 
@@ -160,14 +182,86 @@ def herd_main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="shard each test's trace combinations over N worker processes",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per test; an exhausted budget degrades "
+        "the verdict to Inconclusive (exit status 3) instead of hanging",
+    )
+    parser.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop each test after N candidate executions",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop each test after N exploration steps (bounds runs that "
+        "prune heavily without yielding candidates)",
+    )
+    parser.add_argument(
+        "--max-mem",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="soft resident-memory ceiling in MB, sampled at safepoints",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="checkpoint completed verdicts to FILE (JSON lines) and skip "
+        "tests already journaled there — an interrupted sweep resumes "
+        "instead of restarting",
+    )
     _add_obs_arguments(parser)
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
 
-    model = _resolve_model(args.model)
+    budget = Budget(
+        wall_seconds=args.timeout,
+        max_candidates=args.max_candidates,
+        max_states=args.max_states,
+        max_mem_mb=args.max_mem,
+    )
+    if not budget.bounded():
+        budget = None
+
+    try:
+        model = _resolve_model(args.model)
+        programs = _resolve_tests(args.tests)
+    except CliError as error:
+        print(f"repro-herd: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    journal = (
+        SweepJournal(Path(args.journal), [model.name])
+        if args.journal
+        else None
+    )
+    inconclusive = 0
     with _observe(args) as collector:
-        for program in _resolve_tests(args.tests):
-            result = run_litmus(model, program, jobs=args.jobs)
+        for program in programs:
+            if journal is not None:
+                done = journal.completed(program.name)
+                if done is not None:
+                    print(
+                        f"{program.name} under {model.name}: "
+                        f"{done[model.name]} (journaled)"
+                    )
+                    continue
+            result = run_litmus(
+                model, program, jobs=args.jobs, budget=budget
+            )
+            if result.verdict == INCONCLUSIVE:
+                inconclusive += 1
+            elif journal is not None:
+                journal.record(program.name, {model.name: result.verdict})
             print(result.describe())
             if args.check_races:
                 from repro.analysis.races import check_races
@@ -192,7 +286,7 @@ def herd_main(argv: List[str] | None = None) -> int:
                 if result.forbidden_witness is not None:
                     print(explain_forbidden(result.forbidden_witness))
     _emit_observations(args, collector)
-    return 0
+    return EXIT_INCONCLUSIVE if inconclusive else EXIT_OK
 
 
 def klitmus_main(argv: List[str] | None = None) -> int:
@@ -214,7 +308,12 @@ def klitmus_main(argv: List[str] | None = None) -> int:
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
 
-    for program in _resolve_tests(args.tests):
+    try:
+        programs = _resolve_tests(args.tests)
+    except CliError as error:
+        print(f"repro-klitmus: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    for program in programs:
         result = run_klitmus(
             program, args.arch, runs=args.runs, seed=args.seed
         )
@@ -343,6 +442,7 @@ def lint_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.analysis.catlint import lint_all_models, lint_cat_path
+    from repro.cat.parser import CatParseError
     from repro.analysis.findings import (
         count_errors,
         findings_to_json,
@@ -396,12 +496,16 @@ def lint_main(argv: List[str] | None = None) -> int:
                     findings.extend(lint_cat_path(path))
                 else:
                     if path.exists():
-                        program = parse_litmus(path.read_text())
+                        program = parse_litmus(path.read_text(), path=str(path))
                     else:
                         program = library.get(target)
                     findings.extend(lint_program(program))
                     if args.races:
                         race_targets.append(program)
+            except (ParseError, CatParseError) as error:
+                # Parse errors are already located (path:line:col).
+                print(f"repro-lint: {error}", file=sys.stderr)
+                return 2
             except (KeyError, OSError) as error:
                 # str(KeyError) wraps the message in quotes; unwrap it.
                 if isinstance(error, KeyError) and error.args:

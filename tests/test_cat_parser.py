@@ -272,3 +272,37 @@ def test_pretty_round_trip_property(expr):
     """Any expression tree the AST can represent survives
     pretty -> tokenize -> parse unchanged."""
     assert parse_expr(C.pretty(expr)) == expr
+
+
+class TestErrorLocations:
+    """CatParseError carries path:line:column provenance."""
+
+    def test_located_error(self):
+        text = "mymodel\nlet com = rf | co | fr\nacyclic po ;;\n"
+        with pytest.raises(CatParseError) as excinfo:
+            parse_cat(text, path="my.cat")
+        error = excinfo.value
+        assert error.path == "my.cat"
+        assert error.line == 3
+        assert str(error).startswith("my.cat:3:")
+
+    def test_unexpected_character_located(self):
+        with pytest.raises(CatParseError) as excinfo:
+            parse_cat("let x = po\nlet y = $bogus\n")
+        assert excinfo.value.line == 2
+
+    def test_message_without_location_renders_plain(self):
+        error = CatParseError("boom")
+        assert str(error) == "boom"
+        located = CatParseError("boom", line=2, column=5, path="m.cat")
+        assert str(located) == "m.cat:2:5: boom"
+
+    def test_load_model_attaches_path(self, tmp_path):
+        from repro.cat.eval import CatModel
+
+        bad = tmp_path / "broken.cat"
+        bad.write_text("broken\nacyclic po ;;\n")
+        with pytest.raises(CatParseError) as excinfo:
+            CatModel.from_path(bad)
+        assert excinfo.value.path == str(bad)
+        assert excinfo.value.line == 2

@@ -214,3 +214,64 @@ class TestLintCli:
     def test_missing_cat_file_exits_two(self, capsys):
         assert lint_main(["no-such-file.cat"]) == 2
         assert "no-such-file.cat" in capsys.readouterr().err
+
+
+class TestHerdRobustness:
+    """Budget flags, exit codes, and the resume journal (repro-herd)."""
+
+    def test_timeout_flag_degrades_to_inconclusive_exit_3(self, capsys):
+        # A tiny candidate cap trips immediately on any test.
+        code = herd_main(["--model", "sc", "--max-candidates", "1", "SB"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "Inconclusive" in out
+        assert "[interrupted: candidates" in out
+
+    def test_generous_budget_exits_zero(self, capsys):
+        code = herd_main(["--model", "sc", "--timeout", "600", "SB"])
+        assert code == 0
+        assert "Inconclusive" not in capsys.readouterr().out
+
+    def test_unknown_test_exits_2(self, capsys):
+        assert herd_main(["--model", "sc", "NOPE-not-a-test"]) == 2
+        assert "repro-herd:" in capsys.readouterr().err
+
+    def test_parse_error_located_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.litmus"
+        bad.write_text("C bad\nP0(int *x)\n{\n    smp_mb(;\n}\n")
+        assert herd_main(["--model", "sc", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert f"{bad}:4:" in err
+
+    def test_journal_resume_skips_completed(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        args = ["--model", "sc", "--journal", str(journal), "SB", "MP"]
+        assert herd_main(args) == 0
+        first = capsys.readouterr().out
+        assert "(journaled)" not in first
+        assert journal.exists()
+        # Second run replays both rows from the journal.
+        assert herd_main(args) == 0
+        second = capsys.readouterr().out
+        assert second.count("(journaled)") == 2
+
+    def test_inconclusive_not_journaled(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert (
+            herd_main(
+                ["--model", "sc", "--journal", str(journal),
+                 "--max-candidates", "1", "SB"]
+            )
+            == 3
+        )
+        capsys.readouterr()
+        # The budget verdict was not checkpointed: a resumed run with a
+        # real budget recomputes and journals it.
+        assert herd_main(["--model", "sc", "--journal", str(journal), "SB"]) == 0
+        assert "(journaled)" not in capsys.readouterr().out
+
+    def test_lint_parse_error_located_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.cat"
+        bad.write_text("broken\nacyclic po ;;\n")
+        assert lint_main([str(bad)]) == 2
+        assert f"{bad}:2:" in capsys.readouterr().err

@@ -290,3 +290,53 @@ class TestLibraryLookup:
         with pytest.raises(KeyError) as excinfo:
             library.get("completely-unrelated-name")
         assert "all_names()" in str(excinfo.value)
+
+
+class TestErrorLocations:
+    """ParseError carries path:line:column provenance."""
+
+    def test_located_error_in_thread_body(self):
+        text = (
+            "C bad\n"          # line 1
+            "\n"
+            "{ x=0; }\n"       # line 3
+            "\n"
+            "P0(int *x)\n"     # line 5
+            "{\n"              # line 6
+            "    WRITE_ONCE(*x 1);\n"  # line 7: missing comma
+            "}\n"
+        )
+        with pytest.raises(ParseError) as excinfo:
+            parse_litmus(text, path="bad.litmus")
+        error = excinfo.value
+        assert error.path == "bad.litmus"
+        assert error.line == 7
+        assert error.column is not None
+        assert str(error).startswith("bad.litmus:7:")
+
+    def test_located_error_points_at_offending_token(self):
+        text = "C bad\nP0(int *x)\n{\n    smp_mb(;\n}\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_litmus(text)
+        assert excinfo.value.line == 4
+        # Column points at the ';' where ')' was expected.
+        assert excinfo.value.column == text.splitlines()[3].index(";") + 1
+
+    def test_unexpected_character_located(self):
+        text = "C bad\n{ x=0; }\nP0(int *x)\n{\n    @bogus;\n}\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_litmus(text)
+        assert excinfo.value.line == 5
+
+    def test_message_without_location_renders_plain(self):
+        error = ParseError("boom")
+        assert str(error) == "boom"
+        located = ParseError("boom", line=3, column=9, path="t.litmus")
+        assert str(located) == "t.litmus:3:9: boom"
+
+    def test_internal_slips_become_parse_errors(self):
+        # A lone "P17(...)" thread triggers the thread-id check; whatever
+        # malformed input reaches deeper code must still surface as
+        # ParseError, never a raw KeyError/IndexError/ValueError.
+        with pytest.raises(ParseError):
+            parse_litmus("C bad\nP1(int *x)\n{\n}\n")
