@@ -1,0 +1,71 @@
+"""Regenerate the frozen golden corpus (``tests/data/golden_corpus.jsonl``).
+
+The golden corpus is a ~500-test stratified sample of the deterministic
+10k corpus stream, with the full 6-model verdict row locked per test
+(see :mod:`repro.corpus.golden` for the freeze policy).  It is the
+corpus-scale tier-1 regression suite: ``tests/test_golden_corpus.py``
+re-judges every frozen test on every run and demands exact equality.
+
+Regenerate only after an *intentional* semantic change, then review the
+diff cell by cell — every changed line is a behaviour change::
+
+    PYTHONPATH=src python benchmarks/regen_golden_corpus.py
+    git diff tests/data/golden_corpus.jsonl
+
+The sample is drawn from the first ``POOL`` tests of seed-``SEED``
+stream and stratified over disagreement signatures, so the file is a
+pure function of the constants below plus the models' behaviour.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus import (  # noqa: E402
+    freeze_golden,
+    generate_corpus,
+    mine,
+    stress_report,
+    sweep_corpus,
+)
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "golden_corpus.jsonl"
+
+#: The corpus slice the sample is drawn from.
+SEED = 0
+POOL = 2000
+#: Stratified sample size (the tier-1 suite's row count).
+SIZE = 500
+#: Seed for the within-signature shuffles of the stratified sample.
+SAMPLE_SEED = 0
+
+
+def main() -> int:
+    started = time.time()
+    corpus = list(generate_corpus(seed=SEED, target=POOL))
+    print(f"generated {len(corpus)} tests in {time.time() - started:.1f}s")
+    result = sweep_corpus(corpus, jobs=4)
+    print(f"swept {result.swept} rows by {time.time() - started:.1f}s")
+    report = mine(result)
+    print(
+        f"pool: {report.total} rows, {len(report.signatures)} signatures, "
+        f"{len(report.soundness_alerts)} soundness alert(s)"
+    )
+    if report.soundness_alerts:
+        print(stress_report(report, result))
+        print("refusing to freeze over soundness alerts", file=sys.stderr)
+        return 1
+    names = freeze_golden(
+        result, GOLDEN_PATH, size=SIZE, seed=SAMPLE_SEED
+    )
+    print(f"froze {len(names)} tests to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ or a fence, changing location within one thread).  The generated test's
 from repro.diy.edges import Edge, EDGES, edge
 from repro.diy.generator import (
     CycleError,
+    canonical_cycle,
     generate,
     generate_cycles,
     name_of_cycle,
@@ -23,6 +24,7 @@ __all__ = [
     "EDGES",
     "edge",
     "CycleError",
+    "canonical_cycle",
     "generate",
     "generate_cycles",
     "name_of_cycle",

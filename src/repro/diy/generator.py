@@ -115,12 +115,18 @@ def _resolve_node(edges: List[Edge], index: int) -> _Node:
             f"node {index} must be both {' and '.join(sorted(kinds))} "
             f"(between {incoming.name} and {outgoing.name})"
         )
-    kind = kinds.pop()
+    # ``kinds`` has exactly one element here, but extract it with min()
+    # rather than pop(): set iteration order depends on string hashes,
+    # which vary across processes (PYTHONHASHSEED), and the generator
+    # must be bit-for-bit deterministic across worker processes.
+    kind = min(kinds)
 
     annots = {outgoing.src_annot, incoming.tgt_annot} - {None}
     if len(annots) > 1:
-        raise CycleError(f"conflicting annotations at node {index}: {annots}")
-    annot = annots.pop() if annots else ONCE
+        raise CycleError(
+            f"conflicting annotations at node {index}: {sorted(annots)}"
+        )
+    annot = min(annots) if annots else ONCE
     if annot == ACQUIRE and kind != READ:
         raise CycleError(f"acquire annotation on a write at node {index}")
     if annot == RELEASE and kind != WRITE:
@@ -293,6 +299,18 @@ def _emit_access(node: _Node, dep: Optional[str], dep_reg: str) -> Instruction:
 # -- systematic exploration -----------------------------------------------------
 
 
+def canonical_cycle(edge_names: Sequence[str]) -> Tuple[str, ...]:
+    """The lexicographically least rotation of a cycle of edge names.
+
+    Rotations of a cycle describe the same test, so this tuple is the
+    canonical identity used for deduplication — by :func:`generate_cycles`
+    and by the corpus generator (:mod:`repro.corpus`).  Purely a function
+    of the names: stable across processes and interpreter hash seeds.
+    """
+    names = tuple(str(n) for n in edge_names)
+    return min(names[i:] + names[:i] for i in range(len(names)))
+
+
 def generate_cycles(
     vocabulary: Sequence[str],
     length: int,
@@ -307,9 +325,7 @@ def generate_cycles(
     seen: Set[Tuple[str, ...]] = set()
     produced = 0
     for combo in itertools.product(vocabulary, repeat=length):
-        canonical = min(
-            tuple(combo[i:] + combo[:i]) for i in range(length)
-        )
+        canonical = canonical_cycle(combo)
         if canonical in seen:
             continue
         seen.add(canonical)

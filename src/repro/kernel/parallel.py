@@ -296,6 +296,7 @@ def fault_tolerant_map(
     task_timeout: Optional[float] = None,
     max_attempts: Optional[int] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> List:
     """Run ``fn`` over ``payloads`` on a worker pool, surviving crashes
     and hangs.
@@ -308,6 +309,14 @@ def fault_tolerant_map(
     still fail after ``max_attempts`` total attempts, and re-raises any
     genuine task exception immediately (a deterministic bug is not
     retryable).
+
+    ``stop`` is polled between completions and retry rounds: when it
+    returns true the map ends early — queued tasks are abandoned, the
+    pool is retired (running tasks cannot be evicted individually), and
+    the partial result list is returned with ``None`` in the unfinished
+    slots.  Completed results (and their ``on_result`` checkpoints) are
+    always kept, which is what makes a budgeted, journal-backed corpus
+    sweep resumable: the next run picks up exactly the abandoned tail.
     """
     if max_attempts is None:
         max_attempts = MAX_ATTEMPTS
@@ -318,8 +327,18 @@ def fault_tolerant_map(
     # burn through a whole-batch retry budget.
     attempts = [0] * len(payloads)
     task_name = getattr(fn, "__name__", "task")
+
+    def _stopped() -> bool:
+        if stop is None or not stop():
+            return False
+        if _obs.ENABLED:
+            _obs.count("guard.sweep_stops")
+        return True
+
     try:
         while pending:
+            if _stopped():
+                return results
             pool = persistent_pool(jobs)
             futures = {}
             submit_broken = False
@@ -378,6 +397,14 @@ def fault_tolerant_map(
                         continue
                     if on_result is not None:
                         on_result(index, results[index])
+                if remaining and _stopped():
+                    # Abandon the tail: cancel what never started, retire
+                    # the pool so running tasks stop burning CPU, and
+                    # hand back whatever completed.
+                    for future in remaining:
+                        future.cancel()
+                    discard_pool(pool)
+                    return results
             if submit_broken:
                 poisoned = True
                 submitted = set(futures.values())

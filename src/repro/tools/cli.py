@@ -8,6 +8,9 @@
   diy7): ``repro-diy Rfe RmbdRR Fre WmbdWW``
 * ``repro-lint`` — static analysis over cat models and litmus tests:
   ``repro-lint --all-models --library``, ``repro-lint my.cat my.litmus``
+* ``repro-corpus`` — corpus-scale generation and differential mining:
+  ``repro-corpus generate --seed 0 --target 10000 -o corpus.jsonl``,
+  then ``sweep``, ``mine``, ``report`` and ``freeze`` over it.
 
 Test arguments are either names from the built-in library or paths to
 litmus files.
@@ -544,6 +547,331 @@ def lint_main(argv: List[str] | None = None) -> int:
     # Warnings inform; only error-severity findings (data races included,
     # as RACE001 is an error) gate the exit status.
     return 1 if count_errors(findings) else 0
+
+
+def _parse_thread_counts(text: str) -> List[int]:
+    try:
+        counts = sorted({int(part) for part in text.split(",") if part})
+    except ValueError as error:
+        raise CliError(f"bad --threads value {text!r}") from error
+    if not counts or any(t < 2 for t in counts):
+        raise CliError("--threads wants a comma list of counts >= 2")
+    return counts
+
+
+def _load_corpus_file(path: Path):
+    """Corpus JSONL -> CorpusTest list (or CliError)."""
+    import json
+
+    from repro.corpus import CorpusTest
+
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        raise CliError(f"{path}: {error}") from error
+    tests = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            tests.append(CorpusTest.from_json(json.loads(line)))
+        except (ValueError, KeyError, ParseError) as error:
+            raise CliError(f"{path}:{number}: {error}") from error
+    return tests
+
+
+def _load_matrix_file(path: Path):
+    """Matrix JSON (as written by ``sweep -o``) -> (models, matrix)."""
+    import json
+
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise CliError(f"{path}: {error}") from error
+    if not isinstance(document, dict) or "matrix" not in document:
+        raise CliError(f"{path}: not a sweep matrix file")
+    return document.get("models", []), document["matrix"]
+
+
+def _sweep_result_from_files(corpus_path: Path, matrix_path: Path):
+    """Rehydrate a :class:`SweepResult` for the mine/report/freeze verbs."""
+    from repro.corpus import SweepResult
+
+    tests = _load_corpus_file(corpus_path)
+    _, matrix = _load_matrix_file(matrix_path)
+    result = SweepResult()
+    result.tests = {test.name: test for test in tests}
+    unknown = set(matrix) - set(result.tests)
+    if unknown:
+        example = sorted(unknown)[0]
+        raise CliError(
+            f"{matrix_path}: {len(unknown)} matrix row(s) missing from "
+            f"{corpus_path} (e.g. {example!r}) — corpus/matrix mismatch"
+        )
+    result.matrix = {name: dict(row) for name, row in matrix.items()}
+    return result
+
+
+def corpus_main(argv: List[str] | None = None) -> int:
+    """``repro-corpus``: the generate | sweep | mine | report pipeline."""
+    parser = argparse.ArgumentParser(
+        prog="repro-corpus",
+        description="Corpus-scale litmus generation and differential "
+        "data-mining: generate a deterministic test corpus, sweep it "
+        "under the full model battery, mine the disagreements, render "
+        "the stress report, freeze the golden sample.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_generation(p, target_default):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--target",
+            type=int,
+            default=target_default,
+            metavar="N",
+            help="number of tests to draw from the deterministic stream",
+        )
+        p.add_argument(
+            "--threads",
+            default="2,3,4,5",
+            metavar="LIST",
+            help="comma list of thread counts (default 2,3,4,5)",
+        )
+
+    gen = sub.add_parser(
+        "generate",
+        help="emit unique, lint-clean litmus tests deterministically",
+    )
+    _add_generation(gen, target_default=10000)
+    gen.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the corpus as JSON lines (default: stdout summary "
+        "with per-family counts only)",
+    )
+    gen.add_argument(
+        "--litmus-dir",
+        metavar="DIR",
+        help="additionally write each test as DIR/<name>.litmus",
+    )
+
+    swp = sub.add_parser(
+        "sweep",
+        help="judge a corpus under the model battery, resumably",
+    )
+    swp.add_argument(
+        "--corpus",
+        metavar="FILE",
+        help="corpus JSONL from `generate -o` (default: regenerate from "
+        "--seed/--target/--threads)",
+    )
+    _add_generation(swp, target_default=500)
+    swp.add_argument("--jobs", "-j", type=int, default=1, metavar="N")
+    swp.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="checkpoint completed rows to FILE and resume from it",
+    )
+    swp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-row wall budget (tripped rows degrade to Inconclusive)",
+    )
+    swp.add_argument(
+        "--wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-sweep wall budget; on expiry the queued tail is "
+        "abandoned and the partial matrix returned (resume via --journal)",
+    )
+    swp.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the verdict matrix as JSON (default: stdout summary)",
+    )
+    _add_obs_arguments(swp)
+
+    def _add_mining_inputs(p):
+        p.add_argument("--corpus", required=True, metavar="FILE")
+        p.add_argument(
+            "--matrix",
+            required=True,
+            metavar="FILE",
+            help="verdict matrix from `sweep -o`",
+        )
+
+    mine_p = sub.add_parser(
+        "mine", help="classify the matrix by disagreement signature"
+    )
+    _add_mining_inputs(mine_p)
+
+    rep = sub.add_parser("report", help="render STRESS_REPORT.md")
+    _add_mining_inputs(rep)
+    rep.add_argument(
+        "-o", "--output", default="STRESS_REPORT.md", metavar="FILE"
+    )
+
+    frz = sub.add_parser(
+        "freeze",
+        help="freeze the stratified golden sample with locked verdicts",
+    )
+    _add_mining_inputs(frz)
+    frz.add_argument("--size", type=int, default=500, metavar="N")
+    frz.add_argument("--seed", type=int, default=0)
+    frz.add_argument(
+        "-o",
+        "--output",
+        default="tests/data/golden_corpus.jsonl",
+        metavar="FILE",
+    )
+
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.corpus import (
+        CORPUS_MODELS,
+        freeze_golden,
+        generate_corpus,
+        mine,
+        stress_report,
+        sweep_corpus,
+    )
+    from repro.litmus.writer import write_litmus
+
+    try:
+        if args.command == "generate":
+            threads = _parse_thread_counts(args.threads)
+            families: dict = {}
+            count = 0
+            out = open(args.output, "w") if args.output else None
+            litmus_dir = Path(args.litmus_dir) if args.litmus_dir else None
+            if litmus_dir is not None:
+                litmus_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                for test in generate_corpus(
+                    seed=args.seed, target=args.target, threads=threads
+                ):
+                    count += 1
+                    families[test.family] = families.get(test.family, 0) + 1
+                    if out is not None:
+                        out.write(json.dumps(test.to_json()) + "\n")
+                    if litmus_dir is not None:
+                        (litmus_dir / f"{test.name}.litmus").write_text(
+                            write_litmus(test.program)
+                        )
+            finally:
+                if out is not None:
+                    out.close()
+            print(
+                f"generated {count} unique tests "
+                f"({len(families)} families, seed {args.seed})"
+            )
+            if count < (args.target or 0):
+                print(
+                    f"repro-corpus: stream exhausted {args.target - count} "
+                    "short of --target",
+                    file=sys.stderr,
+                )
+            if args.output:
+                print(f"wrote corpus to {args.output}")
+            return EXIT_OK
+
+        if args.command == "sweep":
+            from repro.guard import Budget as _Budget
+            from repro.guard import SweepJournal as _Journal
+
+            if args.corpus:
+                tests = _load_corpus_file(Path(args.corpus))
+            else:
+                tests = list(
+                    generate_corpus(
+                        seed=args.seed,
+                        target=args.target,
+                        threads=_parse_thread_counts(args.threads),
+                    )
+                )
+            journal = (
+                _Journal(
+                    Path(args.journal),
+                    [spec.name for spec in CORPUS_MODELS],
+                )
+                if args.journal
+                else None
+            )
+            row_budget = (
+                _Budget(wall_seconds=args.timeout) if args.timeout else None
+            )
+            with _observe(args) as collector:
+                result = sweep_corpus(
+                    tests,
+                    jobs=args.jobs,
+                    journal=journal,
+                    row_budget=row_budget,
+                    wall_seconds=args.wall,
+                )
+            _emit_observations(args, collector)
+            inconclusive = sum(
+                1
+                for row in result.matrix.values()
+                if INCONCLUSIVE in row.values()
+            )
+            print(
+                f"swept {result.swept} rows "
+                f"({result.journal_skips} journaled, "
+                f"{len(result.abandoned)} abandoned, "
+                f"{inconclusive} inconclusive)"
+            )
+            if args.output:
+                document = {
+                    "models": [spec.name for spec in CORPUS_MODELS],
+                    "matrix": result.matrix,
+                }
+                Path(args.output).write_text(
+                    json.dumps(document, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"wrote matrix to {args.output}")
+            return (
+                EXIT_INCONCLUSIVE
+                if (result.abandoned or inconclusive)
+                else EXIT_OK
+            )
+
+        # mine / report / freeze all start from the same two files.
+        result = _sweep_result_from_files(
+            Path(args.corpus), Path(args.matrix)
+        )
+        if args.command == "mine":
+            report = mine(result)
+            print(
+                f"{report.total} rows, {len(report.signatures)} "
+                f"signatures, {report.agreeing} in full agreement, "
+                f"{len(report.soundness_alerts)} soundness alert(s)"
+            )
+            for bucket in report.ranked_signatures()[:10]:
+                print(f"  {bucket.count:6d}  {bucket.signature}")
+            return EXIT_OK
+        if args.command == "report":
+            report = mine(result)
+            Path(args.output).write_text(stress_report(report, result))
+            print(f"wrote {args.output}")
+            return EXIT_OK
+        # freeze
+        names = freeze_golden(
+            result, args.output, size=args.size, seed=args.seed
+        )
+        print(f"froze {len(names)} tests to {args.output}")
+        return EXIT_OK
+    except CliError as error:
+        print(f"repro-corpus: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,143 @@
+"""``repro-corpus``: the generate | sweep | mine | report | freeze CLI.
+
+Each verb runs in-process via :func:`corpus_main` against a tmp dir,
+chained the way a user would chain them, with exit statuses and the
+files they promise.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.generate import corpus_slice
+from repro.tools.cli import EXIT_INCONCLUSIVE, EXIT_OK, EXIT_USAGE, corpus_main
+
+
+@pytest.fixture()
+def pipeline(tmp_path):
+    """Paths for one generate→sweep→mine pipeline."""
+    return {
+        "corpus": tmp_path / "corpus.jsonl",
+        "journal": tmp_path / "journal.jsonl",
+        "matrix": tmp_path / "matrix.json",
+        "report": tmp_path / "STRESS_REPORT.md",
+        "golden": tmp_path / "golden.jsonl",
+    }
+
+
+def test_generate_writes_the_deterministic_stream(pipeline, capsys):
+    status = corpus_main(
+        ["generate", "--seed", "0", "--target", "30",
+         "-o", str(pipeline["corpus"])]
+    )
+    assert status == EXIT_OK
+    out = capsys.readouterr().out
+    assert "generated 30 unique tests" in out
+    rows = [
+        json.loads(line)
+        for line in pipeline["corpus"].read_text().splitlines()
+    ]
+    expected = corpus_slice(seed=0, start=0, stop=30)
+    assert [row["digest"] for row in rows] == [t.digest for t in expected]
+
+
+def test_generate_litmus_dir(tmp_path, capsys):
+    litmus_dir = tmp_path / "litmus"
+    status = corpus_main(
+        ["generate", "--target", "5", "--litmus-dir", str(litmus_dir)]
+    )
+    assert status == EXIT_OK
+    files = list(litmus_dir.glob("*.litmus"))
+    assert len(files) == 5
+
+
+def test_generate_rejects_bad_threads(capsys):
+    assert corpus_main(
+        ["generate", "--target", "5", "--threads", "1,zap"]
+    ) == EXIT_USAGE
+    assert "repro-corpus" in capsys.readouterr().err
+
+
+def test_sweep_mine_report_freeze_chain(pipeline, capsys):
+    corpus_main(
+        ["generate", "--target", "20", "-o", str(pipeline["corpus"])]
+    )
+    status = corpus_main(
+        ["sweep", "--corpus", str(pipeline["corpus"]),
+         "--journal", str(pipeline["journal"]),
+         "-o", str(pipeline["matrix"])]
+    )
+    assert status == EXIT_OK
+    out = capsys.readouterr().out
+    assert "swept 20 rows" in out
+    document = json.loads(pipeline["matrix"].read_text())
+    assert len(document["matrix"]) == 20
+    assert document["models"][0] == "LKMM"
+
+    # Resweep: the journal replays everything.
+    status = corpus_main(
+        ["sweep", "--corpus", str(pipeline["corpus"]),
+         "--journal", str(pipeline["journal"]),
+         "-o", str(pipeline["matrix"])]
+    )
+    assert status == EXIT_OK
+    assert "(20 journaled" in capsys.readouterr().out
+
+    status = corpus_main(
+        ["mine", "--corpus", str(pipeline["corpus"]),
+         "--matrix", str(pipeline["matrix"])]
+    )
+    assert status == EXIT_OK
+    assert "20 rows" in capsys.readouterr().out
+
+    status = corpus_main(
+        ["report", "--corpus", str(pipeline["corpus"]),
+         "--matrix", str(pipeline["matrix"]),
+         "-o", str(pipeline["report"])]
+    )
+    assert status == EXIT_OK
+    text = pipeline["report"].read_text()
+    assert text.startswith("# Corpus stress report")
+    assert "Tests judged:** 20" in text
+
+    status = corpus_main(
+        ["freeze", "--corpus", str(pipeline["corpus"]),
+         "--matrix", str(pipeline["matrix"]),
+         "--size", "8", "-o", str(pipeline["golden"])]
+    )
+    assert status == EXIT_OK
+    assert len(pipeline["golden"].read_text().splitlines()) == 8
+
+
+def test_sweep_can_regenerate_inline(pipeline, capsys):
+    """Without --corpus the sweep regenerates from the seed — the
+    one-command smoke path CI uses."""
+    status = corpus_main(
+        ["sweep", "--seed", "0", "--target", "6",
+         "-o", str(pipeline["matrix"])]
+    )
+    assert status == EXIT_OK
+    document = json.loads(pipeline["matrix"].read_text())
+    assert len(document["matrix"]) == 6
+
+
+def test_sweep_wall_budget_exit_status(pipeline, capsys):
+    corpus_main(["generate", "--target", "6", "-o", str(pipeline["corpus"])])
+    status = corpus_main(
+        ["sweep", "--corpus", str(pipeline["corpus"]), "--wall", "0"]
+    )
+    assert status == EXIT_INCONCLUSIVE
+    assert "6 abandoned" in capsys.readouterr().out
+
+
+def test_mine_rejects_mismatched_files(pipeline, tmp_path, capsys):
+    corpus_main(["generate", "--target", "4", "-o", str(pipeline["corpus"])])
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"models": [], "matrix": {"ghost": {}}}))
+    status = corpus_main(
+        ["mine", "--corpus", str(pipeline["corpus"]), "--matrix", str(bogus)]
+    )
+    assert status == EXIT_USAGE
+    assert "mismatch" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""The corpus generator: determinism, uniqueness, cleanliness, scale.
+
+The whole corpus programme rests on the stream being a *pure function*
+of the seed — resumable sweeps, sharded generation, and the frozen
+golden sample all assume that test #4711 is the same program on every
+machine, every run, every ``PYTHONHASHSEED``.  These tests lock that,
+plus the per-test guarantees (unique digests, lint-clean, realisable)
+and the wave scheduling (early prefixes mix thread counts).
+"""
+
+from __future__ import annotations
+
+import itertools
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import count_errors
+from repro.analysis.litmuslint import lint_program
+from repro.corpus.generate import (
+    CorpusTest,
+    corpus_slice,
+    generate_corpus,
+    program_digest,
+    rcu_wrap,
+    slice_digests,
+)
+from repro.diy import generate
+from repro.diy.edges import EDGES
+from repro.litmus.parser import parse_litmus
+from repro.litmus.writer import write_litmus
+
+PREFIX = 150
+
+
+@pytest.fixture(scope="module")
+def prefix():
+    return corpus_slice(seed=0, start=0, stop=PREFIX)
+
+
+def test_prefix_is_unique_and_clean(prefix):
+    assert len(prefix) == PREFIX
+    assert len({t.digest for t in prefix}) == PREFIX
+    assert len({t.program.name for t in prefix}) == PREFIX
+    for test in prefix:
+        assert count_errors(lint_program(test.program)) == 0
+
+
+def test_metadata_matches_program(prefix):
+    for test in prefix:
+        assert test.threads == test.program.num_threads
+        assert test.digest == program_digest(test.program)
+        external = sum(1 for e in test.edges if EDGES[e].external)
+        assert external == test.threads
+
+
+def test_wave_scheduling_mixes_thread_counts(prefix):
+    """The first 150 tests must not be a monoculture: round-robin
+    interleaving across thread counts is what makes small slices (CI
+    smoke, golden sample) representative."""
+    assert {t.threads for t in prefix} == {2, 3, 4, 5}
+
+
+def test_same_seed_same_stream(prefix):
+    again = corpus_slice(seed=0, start=0, stop=PREFIX)
+    assert [t.digest for t in again] == [t.digest for t in prefix]
+    assert [write_litmus(t.program) for t in again] == [
+        write_litmus(t.program) for t in prefix
+    ]
+
+
+def test_target_truncates_prefix_stably(prefix):
+    """A shorter run is a strict prefix of a longer one — sharded
+    generation depends on it."""
+    short = list(generate_corpus(seed=0, target=40))
+    assert [t.digest for t in short] == [t.digest for t in prefix[:40]]
+    middle = corpus_slice(seed=0, start=25, stop=60)
+    assert [t.digest for t in middle] == [t.digest for t in prefix[25:60]]
+
+
+def test_different_seed_different_stream(prefix):
+    other = corpus_slice(seed=1, start=0, stop=40)
+    assert [t.digest for t in other] != [t.digest for t in prefix[:40]]
+    # ... but the same *tests* exist in both streams' full space; only
+    # the order is seeded.  Spot-check: both seeds emit valid corpora.
+    assert len({t.digest for t in other}) == 40
+
+
+def test_round_trip_through_json(prefix):
+    for test in prefix[:25]:
+        clone = CorpusTest.from_json(test.to_json())
+        assert clone == test
+        assert clone.program == test.program
+
+
+def test_rcu_variants_are_marked_and_meaningful(prefix):
+    wrapped = [t for t in prefix if t.rcu_wrapped]
+    assert wrapped, "the prefix should contain RCU critical-section variants"
+    for test in wrapped[:10]:
+        assert test.name.endswith("+rcu-lock")
+        source = write_litmus(test.program)
+        assert "rcu_read_lock" in source
+        assert parse_litmus(source) == test.program
+
+
+def test_rcu_wrap_requires_a_grace_period():
+    no_sync = generate(["Rfe", "PodRW", "Rfe", "PodRW"])
+    assert rcu_wrap(no_sync) == (None, ())
+    with_sync = generate(["SyncdWW", "Rfe", "PodRR", "Fre"])
+    variant, tids = rcu_wrap(with_sync)
+    assert variant is not None
+    assert tids  # the non-sync threads got the critical section
+    assert variant.num_threads == with_sync.num_threads
+
+
+def test_cross_process_determinism():
+    """Two pool workers and the parent must agree on the same slices.
+
+    Workers are fresh interpreter processes (spawned by
+    ``kernel.parallel``), so this catches any dependence on per-process
+    state — id() ordering, set iteration, an unseeded RNG.
+    """
+    from repro.kernel import parallel
+
+    payloads = [(0, 0, 40), (0, 40, 80), (3, 0, 30)]
+    local = [slice_digests(p) for p in payloads]
+    try:
+        remote = parallel.fault_tolerant_map(slice_digests, payloads, jobs=2)
+    finally:
+        parallel.shutdown_pools()
+    assert remote == local
+
+
+def test_hash_seed_independence(prefix):
+    """The stream must not depend on ``PYTHONHASHSEED`` — digests are
+    computed in a subprocess with a different hash seed."""
+    script = (
+        "from repro.corpus.generate import slice_digests\n"
+        "print('\\n'.join(slice_digests((0, 0, 40))))\n"
+    )
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": src, "PYTHONHASHSEED": "12345", "PATH": "/usr/bin"},
+        check=True,
+    )
+    assert out.stdout.split() == [t.digest for t in prefix[:40]]
+
+
+def test_ten_thousand_unique_tests():
+    """The headline acceptance criterion, end to end."""
+    digests = set()
+    count = 0
+    for test in generate_corpus(seed=0, target=10000):
+        digests.add(test.digest)
+        count += 1
+    assert count == 10000
+    assert len(digests) == 10000

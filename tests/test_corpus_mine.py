@@ -1,0 +1,167 @@
+"""Mining, reporting, and the golden freeze over synthetic matrices.
+
+Synthetic verdict matrices make the classification semantics exact:
+which rows count as disagreement, how signatures canonicalise, when a
+soundness alert fires, and that the stratified sample covers every
+signature deterministically.  A final end-to-end case runs the real
+pipeline over a small generated corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generate import corpus_slice
+from repro.corpus.golden import (
+    freeze_golden,
+    load_golden,
+    stratified_sample,
+    verify_golden,
+)
+from repro.corpus.mine import mine, row_signature
+from repro.corpus.report import stress_report
+from repro.corpus.sweep import CORPUS_MODELS, SweepResult, sweep_corpus
+
+ORDER = [spec.name for spec in CORPUS_MODELS]
+
+
+def _result(rows, tests=None):
+    result = SweepResult()
+    result.matrix = rows
+    result.tests = tests or {}
+    result.swept = len(rows)
+    return result
+
+
+def _row(**verdicts):
+    base = {name: "Allow" for name in ORDER}
+    base.update(verdicts)
+    return base
+
+
+class TestSignatures:
+    def test_unanimous_rows_collapse(self):
+        assert row_signature(_row(), ORDER) == "all-Allow"
+        forbid = {name: "Forbid" for name in ORDER}
+        assert row_signature(forbid, ORDER) == "all-Forbid"
+
+    def test_signature_lists_models_in_column_order(self):
+        row = _row(C11="Forbid", Power="Forbid")
+        assert row_signature(row, ORDER) == (
+            "Allow:LKMM,LKMM-core,x86-TSO,ARMv8|Forbid:C11,Power"
+        )
+
+    def test_equal_rows_equal_signatures(self):
+        a = _row(ARMv8="Forbid")
+        b = dict(reversed(list(_row(ARMv8="Forbid").items())))
+        assert row_signature(a, ORDER) == row_signature(b, ORDER)
+
+
+class TestMine:
+    def test_counts_and_density(self):
+        from repro.corpus.generate import CorpusTest
+
+        rows = {
+            "a": _row(),
+            "b": _row(C11="Forbid"),
+            "c": _row(C11="Forbid"),
+        }
+        report = mine(_result(rows))
+        assert report.total == 3
+        assert report.agreeing == 1
+        buckets = report.ranked_signatures()
+        assert buckets[0].count == 2  # the C11 split leads
+        assert buckets[0].exemplars == ["b", "c"]
+
+    def test_na_and_inconclusive_do_not_disagree(self):
+        rows = {
+            "na": _row(**{"x86-TSO": "N/A", "ARMv8": "N/A", "Power": "N/A"}),
+            "inc": _row(Power="Inconclusive"),
+        }
+        report = mine(_result(rows))
+        assert report.agreeing == 2
+        assert report.inconclusive_rows == 1
+
+    def test_soundness_alert_fires_on_hw_allow_lkmm_forbid(self):
+        rows = {
+            "bad": _row(LKMM="Forbid", **{"LKMM-core": "Forbid"}),
+            # hardware still Allow from _row() default -> 3 alerts
+            "fine": _row(LKMM="Forbid", **{
+                "LKMM-core": "Forbid", "C11": "Forbid",
+                "x86-TSO": "Forbid", "ARMv8": "Forbid", "Power": "Forbid",
+            }),
+        }
+        report = mine(_result(rows))
+        assert sorted(report.soundness_alerts) == [
+            ("bad", "ARMv8"), ("bad", "Power"), ("bad", "x86-TSO"),
+        ]
+
+
+class TestReport:
+    def test_report_is_deterministic_and_complete(self):
+        rows = {"a": _row(), "b": _row(C11="Forbid")}
+        report = mine(_result(rows))
+        text = stress_report(report)
+        assert text == stress_report(mine(_result(dict(rows))))
+        assert "## Soundness alerts" in text
+        assert "## Disagreement signatures" in text
+        assert "## Family leaderboard" in text
+        assert "Tests judged:** 2" in text
+
+    def test_alerts_render_loudly(self):
+        rows = {"bad": _row(LKMM="Forbid")}
+        text = stress_report(mine(_result(rows)))
+        assert "Investigate" in text
+        assert "`bad`" in text
+
+
+class TestGolden:
+    def test_stratified_sample_covers_every_signature(self):
+        rows = {}
+        for i in range(40):
+            rows[f"maj{i}"] = _row()
+        for i in range(4):
+            rows[f"min{i}"] = _row(C11="Forbid")
+        rows["solo"] = _row(Power="Forbid")
+        result = _result(rows)
+        names = stratified_sample(result, size=10, seed=0, order=ORDER)
+        assert len(names) == 10
+        signatures = {row_signature(rows[n], ORDER) for n in names}
+        assert len(signatures) == 3  # every class represented
+        assert names == stratified_sample(result, size=10, seed=0, order=ORDER)
+
+    def test_sample_caps_at_population(self):
+        rows = {"a": _row(), "b": _row(C11="Forbid")}
+        assert len(stratified_sample(_result(rows), size=500)) == 2
+
+
+def test_freeze_verify_round_trip(tmp_path):
+    """The real pipeline: generate, sweep, freeze, reload, verify."""
+    corpus = corpus_slice(seed=0, start=0, stop=10)
+    result = sweep_corpus(corpus)
+    path = tmp_path / "golden.jsonl"
+    names = freeze_golden(result, path, size=6, seed=0)
+    assert len(names) == 6
+    entries = load_golden(path)
+    assert [test.name for test, _ in entries] == sorted(names)
+    for test, locked in entries:
+        assert locked == result.matrix[test.name]
+    assert verify_golden(path) == []
+
+    # Corrupt one locked verdict: verify must name the cell.
+    lines = path.read_text().splitlines()
+    import json
+
+    row = json.loads(lines[0])
+    victim = row["name"]
+    model = next(
+        m for m, v in row["verdicts"].items() if v in ("Allow", "Forbid")
+    )
+    row["verdicts"][model] = (
+        "Forbid" if row["verdicts"][model] == "Allow" else "Allow"
+    )
+    lines[0] = json.dumps(row, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    mismatches = verify_golden(path)
+    assert len(mismatches) == 1
+    assert victim in mismatches[0] and model in mismatches[0]
