@@ -79,6 +79,7 @@ def _reference():
         kconfig.use_incremental(False),
         kconfig.use_check_plan(False),
         kconfig.use_vm(False),
+        kconfig.use_static_verdict(False),
     )
 
 
@@ -189,6 +190,105 @@ def _run_library_sweep():
         kernel,
         reference,
     )
+
+
+def _isa2_chain(threads):
+    """An ISA2-style message chain of ``threads`` threads: each middle
+    thread reads the previous flag under ``smp_mb()`` before raising the
+    next, the last thread looks back at the first store.  Forbidden under
+    LKMM for every length; the candidate space doubles per thread while
+    the critical cycle (and its proof) merely gains two positions."""
+    from repro.litmus.parser import parse_litmus
+
+    n = threads
+    lines = [
+        f"C ISA2-chain-{n}",
+        "{ " + " ".join(f"x{i}=0;" for i in range(n)) + " }",
+        "P0(int *x0, int *x1)\n{\n    WRITE_ONCE(*x0, 1);\n"
+        "    smp_wmb();\n    WRITE_ONCE(*x1, 1);\n}",
+    ]
+    for i in range(1, n - 1):
+        lines.append(
+            f"P{i}(int *x{i}, int *x{i + 1})\n{{\n"
+            f"    int r0 = READ_ONCE(*x{i});\n    smp_mb();\n"
+            f"    WRITE_ONCE(*x{i + 1}, 1);\n}}"
+        )
+    lines.append(
+        f"P{n - 1}(int *x{n - 1}, int *x0)\n{{\n"
+        f"    int r0 = READ_ONCE(*x{n - 1});\n    smp_rmb();\n"
+        f"    int r1 = READ_ONCE(*x0);\n}}"
+    )
+    cond = " /\\ ".join(f"{i}:r0=1" for i in range(1, n))
+    lines.append(f"exists ({cond} /\\ {n - 1}:r1=0)")
+    return parse_litmus("\n".join(lines))
+
+
+CHAIN_SIZES = (3, 4, 5, 6)
+
+
+def _run_static_prepass():
+    """The symbolic pre-pass isolated: every other kernel layer fixed at
+    its default, static verdicts on vs off.
+
+    The timed workload is the ISA2 fence-chain family, where the
+    asymmetry the pre-pass exploits is structural: enumeration must
+    visit a candidate space that doubles with every thread, while the
+    critical-cycle proof grows by two positions (and is a table lookup
+    once the shape is known).  The library assertions ride along
+    untimed: the verdict tables must be identical either way, and
+    ``static_decided`` (the acceptance counter) must be non-zero."""
+    from repro.obs import core as obs_core
+
+    programs = [_isa2_chain(n) for n in CHAIN_SIZES]
+
+    def setup():
+        models = [load_model("lkmm")]
+        verdicts(models, programs, require_sc_per_location=True)
+        return models
+
+    def run(models):
+        return verdicts(models, programs, require_sc_per_location=True)
+
+    _, setup_on, fast, solve_on = _measure(setup, run)
+    with kconfig.use_static_verdict(False):
+        _, setup_off, plain, solve_off = _measure(setup, run)
+    assert fast == plain  # the pre-pass is observationally invisible
+    assert all(
+        fast[program.name]["LKMM"] == "Forbid" for program in programs
+    )
+    library_programs = library.all_tests()
+    with obs_core.collect() as collector:
+        on_table = verdicts(
+            [load_model("lkmm")], library_programs,
+            require_sc_per_location=True,
+        )
+    decided = collector.counters.get("static.decided", 0)
+    assert decided > 0, "the pre-pass decided nothing on the library"
+    with kconfig.use_static_verdict(False):
+        off_table = verdicts(
+            [load_model("lkmm")], library_programs,
+            require_sc_per_location=True,
+        )
+    assert on_table == off_table
+    return {
+        "test": (
+            "static pre-pass (ISA2 fence chains, "
+            f"{min(CHAIN_SIZES)}-{max(CHAIN_SIZES)} threads)"
+        ),
+        "workload": "static-prepass",
+        "verdict": (
+            f"all Forbid, proved statically; {decided} library cells "
+            "decided, tables identical"
+        ),
+        "candidates_kernel": len(programs),
+        "candidates_reference": len(programs),
+        "seconds_setup_kernel": round(setup_on, 4),
+        "seconds_solve_kernel": round(solve_on, 4),
+        "seconds_setup_reference": round(setup_off, 4),
+        "seconds_solve_reference": round(solve_off, 4),
+        "static_decided": decided,
+        "speedup": round(solve_off / max(solve_on, 1e-9), 2),
+    }
 
 
 def _run_rcu_workload():
@@ -371,6 +471,7 @@ def test_kernel_speedup(benchmark):
             _run_litmus_workload("MP+wmb+rmb"),
             _run_litmus_workload("WRC+wmb+acq"),
             _run_library_sweep(),
+            _run_static_prepass(),
             _run_rcu_workload(),
             _run_guard_overhead(),
             _run_popcount_micro(),

@@ -70,6 +70,9 @@ CATEGORIES: Dict[str, Tuple[str, str]] = {
     "constant-condition": ("DEP002", WARNING),
     # execution-level data races (repro.analysis.races)
     "data-race": ("RACE001", ERROR),
+    # symbolic critical-cycle prover coverage (repro.analysis.symbolic)
+    "static-undecided": ("LIT007", INFO),
+    "static-coverage": ("LIT008", INFO),
 }
 
 

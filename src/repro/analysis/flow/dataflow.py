@@ -121,17 +121,57 @@ def _transfer_block(analysis: DataflowAnalysis, block, value):
     return value
 
 
+def infeasible_edges(cfg: Cfg) -> frozenset:
+    """Branch edges that can never be taken at run time, as
+    ``(source bid, target bid)`` pairs, plus every edge out of a block
+    those prune from the graph entirely.
+
+    A branch whose condition folds to a constant — including through the
+    dependency-breaking identities of :func:`fold_expr`, which hold in
+    every execution — always takes the same arm; the other arm's edge
+    carries no run-time state.  Blocks all of whose incoming edges are
+    infeasible are unreachable, so their outgoing edges are infeasible
+    too (one topological pass suffices: the CFG is a DAG with ids
+    increasing along edges).
+    """
+    # Local import: analyses.py imports this module at load time.
+    from repro.analysis.flow.analyses import fold_expr
+
+    dead = set()
+    for block in cfg.blocks:
+        if block.bid != cfg.entry.bid and block.preds and all(
+            (pred, block.bid) in dead for pred in block.preds
+        ):
+            dead.update((block.bid, succ) for succ in block.succs)
+            continue
+        if block.branch is not None:
+            value = fold_expr(block.branch.cond)
+            if value is not None:
+                untaken = 1 if value else 0
+                dead.add((block.bid, block.succs[untaken]))
+    return frozenset(dead)
+
+
 def solve(cfg: Cfg, analysis: DataflowAnalysis) -> DataflowResult:
-    """Run ``analysis`` to fixpoint over ``cfg``."""
+    """Run ``analysis`` to fixpoint over ``cfg``.
+
+    Edges reported by :func:`infeasible_edges` carry no state in either
+    direction, so values joined at a block come only from its *feasible*
+    inputs; unreachable blocks keep the analysis bottom."""
+    dead = infeasible_edges(cfg)
     forward = analysis.direction == FORWARD
     if forward:
         boundary_bid = cfg.entry.bid
         order = list(cfg.blocks)
-        inputs = lambda block: block.preds  # noqa: E731 - tiny local alias
+        inputs = lambda block: [  # noqa: E731 - tiny local alias
+            p for p in block.preds if (p, block.bid) not in dead
+        ]
     else:
         boundary_bid = cfg.exit.bid
         order = list(reversed(cfg.blocks))
-        inputs = lambda block: block.succs  # noqa: E731
+        inputs = lambda block: [  # noqa: E731
+            s for s in block.succs if (block.bid, s) not in dead
+        ]
 
     # block_in is the value entering the block in *flow* direction:
     # from predecessors for forward analyses, successors for backward.

@@ -1,0 +1,61 @@
+"""Symbolic critical-cycle prover: litmus verdicts before enumeration.
+
+The pipeline (ISSUE: symbolic static analysis over the relational IR):
+
+1. :mod:`.skeleton` — the trace-invariant event structure of a test;
+2. :mod:`.footprint` — communication edges pinned by the final-state
+   condition, plus the coherence scenarios still open;
+3. :mod:`.match` — under-approximating path-match entailment against
+   the compiled cat IR;
+4. :mod:`.prover` — the decision procedure (:func:`static_verdict`),
+   consumed by :func:`repro.herd.verdicts` and the corpus sweep;
+5. :mod:`.tables` — per-model order tables over the diy edge shapes.
+
+Everything is sound by construction: Forbid is a proof over every
+condition-satisfying execution, Allow is a kernel-confirmed witness,
+and anything else falls back to full enumeration.  The pre-pass is
+gated by ``REPRO_STATIC_VERDICT`` (:mod:`repro.kernel.config`).
+"""
+
+from repro.analysis.symbolic.footprint import (
+    Footprint,
+    guaranteed_edges,
+    resolve_footprint,
+    scenarios,
+)
+from repro.analysis.symbolic.match import EdgeSet, Matcher, violated_check
+from repro.analysis.symbolic.prover import (
+    StaticDecision,
+    compiled_model,
+    decide,
+    static_verdict,
+)
+from repro.analysis.symbolic.skeleton import (
+    ProgramSkeleton,
+    SkelEvent,
+    UNKNOWN,
+    Unsupported,
+    extract_skeleton,
+)
+from repro.analysis.symbolic.tables import order_table, ordered_shapes
+
+__all__ = [
+    "EdgeSet",
+    "Footprint",
+    "Matcher",
+    "ProgramSkeleton",
+    "SkelEvent",
+    "StaticDecision",
+    "UNKNOWN",
+    "Unsupported",
+    "compiled_model",
+    "decide",
+    "extract_skeleton",
+    "guaranteed_edges",
+    "order_table",
+    "ordered_shapes",
+    "resolve_footprint",
+    "scenarios",
+    "static_verdict",
+    "violated_check",
+]

@@ -31,7 +31,7 @@ from repro.cat.eval import load_model
 from repro.corpus.generate import CorpusTest
 from repro.guard import Budget, SweepJournal, guard
 from repro.hardware import CompileError, compile_program, get_arch
-from repro.herd import INCONCLUSIVE, run_litmus_many
+from repro.herd import INCONCLUSIVE, verdict_row
 from repro.kernel import config as _config
 from repro.litmus.parser import parse_litmus
 from repro.obs import core as _obs
@@ -103,12 +103,17 @@ def sweep_row(
     row: Dict[str, str] = {}
 
     def _judge() -> None:
+        # verdict_row runs the symbolic pre-pass per model (gated on
+        # REPRO_STATIC_VERDICT); statically decided columns skip their
+        # candidate enumeration entirely.
         if direct:
-            results = run_litmus_many(
-                [_model(spec.key) for spec in direct], program, **sweep_kwargs
+            row.update(
+                verdict_row(
+                    [_model(spec.key) for spec in direct],
+                    program,
+                    **sweep_kwargs,
+                )
             )
-            for spec in direct:
-                row[spec.name] = results[spec.name].verdict
         for spec in compiled:
             try:
                 mapped = compile_program(
@@ -119,10 +124,7 @@ def sweep_row(
                 if _obs.ENABLED:
                     _obs.count("corpus.sweep_na")
                 continue
-            results = run_litmus_many(
-                [_model(spec.key)], mapped, **sweep_kwargs
-            )
-            row[spec.name] = results[spec.name].verdict
+            row.update(verdict_row([_model(spec.key)], mapped, **sweep_kwargs))
 
     if budget is not None:
         with guard(budget):

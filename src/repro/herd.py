@@ -265,6 +265,46 @@ def run_litmus(
     )[model.name]
 
 
+def verdict_row(
+    models: List[Model],
+    program: Program,
+    **kwargs,
+) -> Dict[str, str]:
+    """One verdict-table row, with the symbolic pre-pass.
+
+    When ``REPRO_STATIC_VERDICT`` is on, each model first consults the
+    critical-cycle prover (:func:`repro.analysis.symbolic.
+    static_verdict`); statically decided cells skip enumeration
+    entirely, and the remaining models share a single candidate sweep.
+    The pre-pass is sound — a static Forbid is a proof, a static Allow a
+    kernel-confirmed witness — so the row is identical either way (see
+    ``tests/test_static_verdicts.py``).
+    """
+    row: Dict[str, str] = {}
+    pending = list(models)
+    if _config.static_verdict_enabled():
+        from repro.analysis.symbolic import static_verdict
+
+        pending = []
+        for model in models:
+            verdict = static_verdict(
+                model,
+                program,
+                require_sc_per_location=kwargs.get(
+                    "require_sc_per_location", False
+                ),
+            )
+            if verdict is None:
+                pending.append(model)
+            else:
+                row[model.name] = verdict
+    if pending:
+        results = run_litmus_many(pending, program, **kwargs)
+        for model in pending:
+            row[model.name] = results[model.name].verdict
+    return row
+
+
 def verdicts(
     models: List[Model],
     programs: List[Program],
@@ -309,8 +349,7 @@ def verdicts(
                     _obs.count("guard.journal_skips")
                 table[program.name] = done
                 continue
-        results = run_litmus_many(models, program, **kwargs)
-        row = {model.name: results[model.name].verdict for model in models}
+        row = verdict_row(models, program, **kwargs)
         table[program.name] = row
         if journal is not None and INCONCLUSIVE not in row.values():
             journal.record(program.name, row)

@@ -30,6 +30,12 @@ benchmark harness):
   the exhaustive drivers exactly as they behaved before the VM existed.
   The VM needs the ``bitset`` backend; under ``frozenset`` it falls back
   to the plan evaluator per execution.
+* ``REPRO_STATIC_VERDICT`` — ``1`` (default) lets the batched drivers
+  (:func:`repro.herd.verdicts`, the corpus sweep) consult the symbolic
+  critical-cycle prover of :mod:`repro.analysis.symbolic` before
+  enumerating candidate executions; statically decided (model, test)
+  cells skip enumeration entirely.  ``0`` disables the pre-pass, making
+  every verdict go through full enumeration again.
 
 The environment is re-read on every query (with a last-value parse cache,
 so the hot :class:`~repro.relations.Relation` constructor pays one dict
@@ -61,12 +67,14 @@ _backend_override: Optional[str] = None
 _incremental_override: Optional[bool] = None
 _check_plan_override: Optional[bool] = None
 _vm_override: Optional[bool] = None
+_static_verdict_override: Optional[bool] = None
 
 #: Last-raw-value parse caches: (raw env string or None, parsed value).
 _backend_env_cache = ("\0unset", BITSET)
 _incremental_env_cache = ("\0unset", True)
 _check_plan_env_cache = ("\0unset", True)
 _vm_env_cache = ("\0unset", True)
+_static_verdict_env_cache = ("\0unset", True)
 
 
 def _env_backend() -> str:
@@ -172,6 +180,29 @@ def set_vm(enabled: Optional[bool]) -> None:
     _vm_override = None if enabled is None else bool(enabled)
 
 
+def _env_static_verdict() -> bool:
+    global _static_verdict_env_cache
+    raw = os.environ.get("REPRO_STATIC_VERDICT")
+    cached_raw, cached_value = _static_verdict_env_cache
+    if raw == cached_raw:
+        return cached_value
+    value = True if raw is None else raw.strip() not in _FALSY
+    _static_verdict_env_cache = (raw, value)
+    return value
+
+
+def static_verdict_enabled() -> bool:
+    if _static_verdict_override is not None:
+        return _static_verdict_override
+    return _env_static_verdict()
+
+
+def set_static_verdict(enabled: Optional[bool]) -> None:
+    """Set a process-local override; ``None`` defers to the environment."""
+    global _static_verdict_override
+    _static_verdict_override = None if enabled is None else bool(enabled)
+
+
 @contextmanager
 def use_backend(name: str):
     """Temporarily select a relation backend (for tests and benchmarks)."""
@@ -214,3 +245,14 @@ def use_vm(enabled: bool):
         yield
     finally:
         set_vm(previous)
+
+
+@contextmanager
+def use_static_verdict(enabled: bool):
+    """Temporarily enable/disable the symbolic verdict pre-pass."""
+    previous = _static_verdict_override
+    set_static_verdict(enabled)
+    try:
+        yield
+    finally:
+        set_static_verdict(previous)

@@ -100,6 +100,7 @@ def _init_worker(
     incremental: bool,
     check_plan: bool,
     vm: bool,
+    static_verdict: bool,
     observing: bool,
     fault_spec: Optional[str],
 ) -> None:
@@ -114,6 +115,7 @@ def _init_worker(
     _config.set_incremental(incremental)
     _config.set_check_plan(check_plan)
     _config.set_vm(vm)
+    _config.set_static_verdict(static_verdict)
     _WORKER_OBSERVING = observing
     _faults.mark_worker_process(fault_spec)
 
@@ -124,6 +126,7 @@ def _pool_config() -> tuple:
         _config.incremental_enabled(),
         _config.check_plan_enabled(),
         _config.vm_enabled(),
+        _config.static_verdict_enabled(),
         _obs.enabled(),
         _faults.raw_spec(),
     )
@@ -571,13 +574,10 @@ def run_litmus_parallel(
 
 def _run_program(task):
     models, program, kwargs, budget = task
-    from repro.herd import run_litmus_many
+    from repro.herd import verdict_row
 
     def run():
-        results = run_litmus_many(models, program, **kwargs)
-        return program.name, {
-            model.name: results[model.name].verdict for model in models
-        }
+        return program.name, verdict_row(models, program, **kwargs)
 
     def guarded():
         if budget is None:

@@ -222,6 +222,13 @@ def herd_main(argv: List[str] | None = None) -> int:
         "tests already journaled there — an interrupted sweep resumes "
         "instead of restarting",
     )
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="consult only the symbolic critical-cycle prover: print each "
+        "test's statically decided verdict (with its proof reason) or "
+        "Unknown, never enumerating candidate executions",
+    )
     _add_obs_arguments(parser)
     parser.add_argument("tests", nargs="+", help="library names or file paths")
     args = parser.parse_args(argv)
@@ -241,6 +248,27 @@ def herd_main(argv: List[str] | None = None) -> int:
     except CliError as error:
         print(f"repro-herd: {error}", file=sys.stderr)
         return EXIT_USAGE
+
+    if args.static_only:
+        from repro.analysis.symbolic import decide
+
+        decided = 0
+        with _observe(args) as collector:
+            for program in programs:
+                decision = decide(
+                    model, program, require_sc_per_location=True
+                )
+                if decision is None:
+                    print(f"{program.name} under {model.name}: Unknown")
+                else:
+                    decided += 1
+                    print(
+                        f"{program.name} under {model.name}: "
+                        f"{decision.describe()}"
+                    )
+        print(f"static coverage: {decided}/{len(programs)} decided")
+        _emit_observations(args, collector)
+        return EXIT_OK
 
     journal = (
         SweepJournal(Path(args.journal), [model.name])
@@ -422,6 +450,13 @@ def lint_main(argv: List[str] | None = None) -> int:
         "linted litmus test (slower: enumerates candidate executions)",
     )
     parser.add_argument(
+        "--static-verdicts",
+        action="store_true",
+        help="report the symbolic prover's decided/unknown coverage over "
+        "the litmus library (LIT007/LIT008 info findings, one coverage "
+        "row per golden model)",
+    )
+    parser.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -471,7 +506,12 @@ def lint_main(argv: List[str] | None = None) -> int:
         print(models_report())
         args.all_models = True
 
-    if not args.all_models and not args.library and not args.targets:
+    if (
+        not args.all_models
+        and not args.library
+        and not args.targets
+        and not args.static_verdicts
+    ):
         args.all_models = True
         args.library = True
 
@@ -480,6 +520,14 @@ def lint_main(argv: List[str] | None = None) -> int:
     racy = 0
 
     with _observe(args) as collector:
+        if args.static_verdicts:
+            from repro.analysis.symbolic.report import (
+                coverage_findings,
+                library_coverage,
+            )
+
+            with obs.span("lint.static_verdicts"):
+                findings.extend(coverage_findings(library_coverage()))
         if args.all_models:
             with obs.span("lint.cat_models"):
                 for model_findings in lint_all_models().values():

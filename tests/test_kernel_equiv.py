@@ -334,8 +334,16 @@ class TestWholeRunEquivalence:
 
         monkeypatch.setattr(herd, "candidate_executions_sharded", counting)
         programs = [library.get("SB"), library.get("MP+wmb+rmb")]
-        verdicts([LinuxKernelModel(), load_model("lkmm")], programs)
+        models = [LinuxKernelModel(), load_model("lkmm")]
+        with kconfig.use_static_verdict(False):
+            verdicts(models, programs)
         assert sorted(calls) == ["MP+wmb+rmb", "SB"]
+        # With the symbolic pre-pass on, statically decided cells skip
+        # the enumeration — never add one.
+        calls.clear()
+        with kconfig.use_static_verdict(True):
+            verdicts(models, programs)
+        assert len(calls) <= 2 and set(calls) <= {"MP+wmb+rmb", "SB"}
 
 
 class TestPickling:
